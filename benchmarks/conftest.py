@@ -1,0 +1,39 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs its experiment exactly once (``benchmark.pedantic``
+with one round: these are scientific reproductions, not microbenchmarks
+to be re-sampled), prints the regenerated table, and writes it to
+``benchmarks/results/<id>.txt`` so EXPERIMENTS.md can reference it.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import render_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record_result():
+    def _record(name, rows, title=None, columns=None):
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        text = render_table(rows, columns=columns, title=title or name)
+        path = os.path.join(RESULTS_DIR, name + ".txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        print()
+        print(text)
+        return rows
+    return _record
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment function exactly once under the benchmark
+    timer."""
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return _run

@@ -1,0 +1,21 @@
+"""Related-work comparison (Sec. VIII): Victim Replication vs SILO.
+
+The paper: "D-NUCA designs ... are fundamentally limited by the small
+capacity of nearby banks on a planar die. SILO circumvents [this] by
+providing core-private die-stacked DRAM vaults with hundreds of MBs."
+This bench quantifies the claim.
+"""
+
+from repro.experiments.noc_traffic import dnuca_comparison
+
+
+def test_dnuca_comparison(run_once, record_result):
+    rows = run_once(dnuca_comparison,
+                    workloads=["web_search", "mapreduce"])
+    record_result("dnuca", rows, title="D-NUCA (Victim Replication) vs "
+                  "SILO (normalized to Baseline)")
+    for r in rows:
+        # nearby-bank replication cannot substitute for private capacity
+        assert r["silo"] > r["victim_replication"] + 0.05
+        # and VR itself must not regress the baseline
+        assert r["victim_replication"] > 0.97

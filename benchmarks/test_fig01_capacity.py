@@ -1,0 +1,20 @@
+"""Fig. 1: performance sensitivity to LLC capacity at fixed latency."""
+
+from repro.experiments.sensitivity import fig1_capacity
+
+
+def test_fig1_capacity(run_once, record_result):
+    rows = run_once(fig1_capacity)
+    record_result("fig1", rows, title="Fig. 1: perf vs LLC capacity "
+                  "(normalized to 8MB)")
+    by_wl = {}
+    for r in rows:
+        by_wl.setdefault(r["workload"], {})[r["capacity_mb"]] = \
+            r["normalized_performance"]
+    # paper shape: marginal gain to 64 MB, bigger beyond
+    for wl, caps in by_wl.items():
+        assert caps[8] == 1.0
+        assert caps[1024] >= caps[8]
+    # Web Search's knee is late: most of its gain arrives after 512 MB
+    ws = by_wl["Web Search"]
+    assert ws[1024] - ws[512] > 0.5 * (ws[1024] - ws[8])

@@ -1,0 +1,23 @@
+"""Fig. 2: performance sensitivity to LLC latency at several
+capacities (geomean isocurves)."""
+
+from repro.experiments.sensitivity import fig2_latency
+
+
+def test_fig2_latency(run_once, record_result):
+    rows = run_once(fig2_latency)
+    record_result("fig2", rows, title="Fig. 2: geomean perf vs LLC "
+                  "latency increase (normalized to 8MB @ +0%)")
+    by_cap = {}
+    for r in rows:
+        by_cap.setdefault(r["capacity_mb"], {})[
+            r["latency_increase_pct"]] = r["normalized_performance"]
+    for cap, curve in by_cap.items():
+        vals = [curve[k] for k in sorted(curve)]
+        # performance decays monotonically with latency
+        assert all(b <= a + 1e-9 for a, b in zip(vals, vals[1:]))
+    # the paper's headline: large capacity at high latency loses most
+    # of its edge over the small fast baseline
+    big = by_cap[max(by_cap)]
+    assert big[100] < big[0]
+    assert big[100] - 1.0 < 0.5 * (big[0] - 1.0)

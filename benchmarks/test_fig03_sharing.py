@@ -1,0 +1,21 @@
+"""Fig. 3: breakdown of accessed LLC blocks (reads / writes without
+sharing / RW-shared writes)."""
+
+from repro.experiments.sharing import fig3_breakdown
+
+
+def test_fig3_sharing(run_once, record_result):
+    rows = run_once(fig3_breakdown)
+    record_result("fig3", rows,
+                  title="Fig. 3: LLC access breakdown (%)")
+    for r in rows:
+        total = (r["reads_pct"] + r["writes_nosharing_pct"]
+                 + r["writes_rwsharing_pct"])
+        assert abs(total - 100.0) < 1e-6
+        # paper: RW-sharing is limited (<= ~5%) across the suite
+        assert r["writes_rwsharing_pct"] < 10.0
+        assert r["reads_pct"] > 50.0
+    rw = {r["workload"]: r["writes_rwsharing_pct"] for r in rows}
+    # MapReduce and SAT Solver have negligible RW-sharing
+    assert rw["MapReduce"] < rw["Web Search"]
+    assert rw["SAT Solver"] < rw["Web Search"]

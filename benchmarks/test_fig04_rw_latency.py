@@ -1,0 +1,19 @@
+"""Fig. 4: performance impact of slower access to RW-shared blocks."""
+
+from repro.experiments.sharing import fig4_rw_latency
+
+
+def test_fig4_rw_latency(run_once, record_result):
+    rows = run_once(fig4_rw_latency)
+    record_result("fig4", rows, title="Fig. 4: perf with 1x-4x latency "
+                  "on RW-shared blocks (normalized to 1x)")
+    by_wl = {}
+    for r in rows:
+        by_wl.setdefault(r["workload"], {})[
+            r["rw_latency_multiplier"]] = r["normalized_performance"]
+    for wl, curve in by_wl.items():
+        assert curve[1.0] == 1.0
+        # paper: doubling RW-shared latency costs 0-8%; 4x costs at
+        # most ~10%
+        assert curve[2.0] > 0.90
+        assert curve[4.0] > 0.85

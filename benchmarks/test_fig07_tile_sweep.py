@@ -1,0 +1,18 @@
+"""Fig. 7: effect of DRAM tile dimensions on access latency and area."""
+
+from repro.experiments.technology import fig7_tile_sweep
+
+
+def test_fig7_tile_sweep(run_once, record_result):
+    rows = run_once(fig7_tile_sweep)
+    record_result("fig7", rows, title="Fig. 7: tile dimensions vs "
+                  "normalized latency/area")
+    by_tile = {r["tile"]: r for r in rows}
+    # paper anchors: 1024->256 cuts latency ~64% for ~49% more area;
+    # 128x128 saves little more latency at a hefty area cost
+    assert 0.30 <= by_tile["256x256"]["norm_latency"] <= 0.45
+    assert 1.3 <= by_tile["256x256"]["norm_area"] <= 1.6
+    assert by_tile["128x128"]["norm_area"] > 2.0
+    gain = (by_tile["256x256"]["norm_latency"]
+            - by_tile["128x128"]["norm_latency"])
+    assert gain < 0.10  # diminishing returns past 256x256

@@ -1,0 +1,21 @@
+"""Fig. 8: vault capacity vs access latency design space."""
+
+from repro.experiments.technology import fig8_vault_space
+
+
+def test_fig8_vault_space(run_once, record_result):
+    rows = run_once(fig8_vault_space)
+    frontier = [r for r in rows if r["pareto"] or r["selected"]]
+    record_result("fig8", frontier, title="Fig. 8: vault design space "
+                  "(Pareto frontier + selected points)")
+    selected = {r["selected"]: r for r in rows if r["selected"]}
+    lo = selected["latency-optimized"]
+    co = selected["capacity-optimized"]
+    # Sec. IV-D: 256 MB @ ~5.5 ns latency-optimized; 512 MB at ~+80%
+    assert 256 <= lo["capacity_mb"] <= 320
+    assert 4.5 <= lo["latency_ns"] <= 6.5
+    assert co["capacity_mb"] >= 500
+    assert 1.6 <= co["latency_ns"] / lo["latency_ns"] <= 2.0
+    # the scatter spans the whole capacity range of the figure
+    caps = [r["capacity_mb"] for r in rows]
+    assert min(caps) <= 16 and max(caps) >= 500

@@ -1,0 +1,27 @@
+"""Fig. 10: performance on scale-out workloads, all five systems."""
+
+from repro.experiments.common import geomean
+from repro.experiments.performance import fig10_scaleout
+
+
+def test_fig10_scaleout(run_once, record_result):
+    rows = run_once(fig10_scaleout)
+    record_result("fig10", rows, title="Fig. 10: scale-out performance "
+                  "(normalized to Baseline)")
+    perf = {(r["workload"], r["system"]): r["normalized_performance"]
+            for r in rows}
+    workloads = ("Web Search", "Data Serving", "Web Frontend",
+                 "MapReduce", "SAT Solver")
+    # SILO consistently outperforms the baseline designs (paper: 5-54%)
+    for wl in workloads:
+        assert perf[(wl, "SILO")] > 1.0
+        assert perf[(wl, "SILO")] > perf[(wl, "Vaults-Sh")]
+    # MapReduce gains the most, Web Frontend the least (paper ordering)
+    silo = {wl: perf[(wl, "SILO")] for wl in workloads}
+    assert max(silo, key=silo.get) == "MapReduce"
+    assert min(silo, key=silo.get) == "Web Frontend"
+    # geomean speedup in the paper's neighbourhood (+28%)
+    g = geomean(silo.values())
+    assert 1.15 <= g <= 1.40
+    # SILO-CO trails SILO (higher vault latency, Sec. VII-A)
+    assert perf[("Geomean", "SILO-CO")] < perf[("Geomean", "SILO")]

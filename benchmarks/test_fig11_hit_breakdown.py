@@ -1,0 +1,21 @@
+"""Fig. 11: LLC hits/misses, Baseline vs SILO."""
+
+from repro.experiments.performance import fig11_hit_breakdown
+
+
+def test_fig11_hit_breakdown(run_once, record_result):
+    rows = run_once(fig11_hit_breakdown)
+    record_result("fig11", rows, title="Fig. 11: LLC access breakdown "
+                  "(fractions)")
+    by_key = {(r["workload"], r["system"]): r for r in rows}
+    for wl in ("Web Search", "Data Serving", "Web Frontend",
+               "MapReduce", "SAT Solver"):
+        base = by_key[(wl, "Baseline")]
+        silo = by_key[(wl, "SILO")]
+        # SILO reduces off-chip misses (paper: 8-67% reduction)
+        assert silo["offchip_misses"] < base["offchip_misses"]
+        reduction = 1 - silo["offchip_misses"] / base["offchip_misses"]
+        assert 0.05 <= reduction <= 0.85
+        # the majority of SILO's hits are local (paper: 63-91%)
+        hits = silo["local_hits"] + silo["remote_hits"]
+        assert silo["local_hits"] / hits >= 0.60

@@ -1,0 +1,20 @@
+"""Fig. 12: SILO design optimizations in the limit."""
+
+from repro.experiments.optimizations import fig12_optimizations
+
+
+def test_fig12_optimizations(run_once, record_result):
+    rows = run_once(fig12_optimizations)
+    record_result("fig12", rows, title="Fig. 12: SILO optimization "
+                  "variants (normalized to NoOpt)")
+    by_key = {(r["workload"], r["variant"]): r["normalized_performance"]
+              for r in rows}
+    for wl in ("Web Search", "Data Serving", "Web Frontend",
+               "MapReduce", "SAT Solver"):
+        assert by_key[(wl, "NoOpt")] == 1.0
+        both = by_key[(wl, "LocalMP+DirCache")]
+        # ideal optimizations help, but modestly (the paper concludes
+        # they do not justify their cost)
+        assert 1.0 <= both <= 1.25
+        assert by_key[(wl, "LocalMP")] <= both + 1e-9
+        assert by_key[(wl, "DirCache")] <= both + 1e-9

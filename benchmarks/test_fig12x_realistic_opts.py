@@ -1,0 +1,21 @@
+"""Extension: realistic MissMap / SRAM directory cache vs the ideal
+limit study of Fig. 12."""
+
+from repro.experiments.optimizations import fig12x_realistic_optimizations
+
+
+def test_fig12x_realistic_opts(run_once, record_result):
+    rows = run_once(fig12x_realistic_optimizations,
+                    workloads=["web_search", "data_serving"])
+    record_result("fig12x", rows, title="Extension: realistic vs ideal "
+                  "SILO optimizations (normalized to NoOpt)")
+    by_key = {(r["workload"], r["variant"]): r["normalized_performance"]
+              for r in rows}
+    for wl in ("Web Search", "Data Serving"):
+        # realistic structures capture part of the ideal gain and never
+        # hurt (the MissMap is conservative, the dir cache additive)
+        assert by_key[(wl, "MissMap")] >= 0.995
+        assert by_key[(wl, "SRAM-DirCache")] >= 0.995
+        both = by_key[(wl, "MissMap+SRAM-DirCache")]
+        ideal = by_key[(wl, "Ideal-Both")]
+        assert 0.995 <= both <= ideal + 0.01

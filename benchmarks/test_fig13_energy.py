@@ -1,0 +1,23 @@
+"""Fig. 13: memory-subsystem dynamic energy, Baseline vs SILO."""
+
+from repro.experiments.energy import fig13_energy
+
+
+def test_fig13_energy(run_once, record_result):
+    rows = run_once(fig13_energy)
+    record_result("fig13", rows, title="Fig. 13: dynamic energy "
+                  "(normalized to Baseline total)")
+    by_key = {(r["workload"], r["system"]): r for r in rows}
+    for wl in ("Web Search", "Data Serving", "Web Frontend",
+               "MapReduce", "SAT Solver"):
+        base = by_key[(wl, "Baseline")]
+        silo = by_key[(wl, "SILO")]
+        assert base["total_dynamic"] == 1.0
+        # paper: SILO cuts dynamic energy 26-87% via fewer off-chip
+        # accesses
+        assert silo["total_dynamic"] < 0.95
+        assert silo["memory_dynamic"] < base["memory_dynamic"]
+        # but spends more in the LLC itself (DRAM vaults)
+        assert silo["llc_dynamic"] > base["llc_dynamic"]
+        # Sec. VII-C: SILO's total LLC power stays under ~2.5 W
+        assert silo["llc_power_w"] < 3.0

@@ -1,0 +1,19 @@
+"""Fig. 15: 4-core SPEC'06 mixes, SILO vs baseline."""
+
+from repro.experiments.mixes import fig15_spec_mixes
+
+
+def test_fig15_spec_mixes(run_once, record_result):
+    rows = run_once(fig15_spec_mixes)
+    record_result("fig15", rows, title="Fig. 15: SPEC'06 mixes, SILO "
+                  "speedup over Baseline")
+    speedup = {r["mix"]: r["silo_speedup"] for r in rows}
+    # paper: gains on all mixes (up to +47%, average +28%); mixes with
+    # memory-intensive apps (mcf/lbm/milc/astar) gain most
+    mem_mixes = [speedup[m] for m in ("mix3", "mix5", "mix7", "mix8")]
+    compute_mixes = [speedup[m] for m in ("mix4", "mix9")]
+    assert min(mem_mixes) > max(compute_mixes)
+    assert speedup["geomean"] > 1.05
+    assert max(speedup.values()) < 1.8
+    for m, s in speedup.items():
+        assert s > 0.92, "mix %s regressed: %.3f" % (m, s)

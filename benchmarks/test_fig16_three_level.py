@@ -1,0 +1,17 @@
+"""Fig. 16: 3-level cache hierarchies."""
+
+from repro.experiments.performance import fig16_three_level
+
+
+def test_fig16_three_level(run_once, record_result):
+    rows = run_once(fig16_three_level)
+    record_result("fig16", rows, title="Fig. 16: 3-level hierarchies "
+                  "(normalized to 3level-SRAM)")
+    perf = {(r["workload"], r["system"]): r["normalized_performance"]
+            for r in rows}
+    # paper: eDRAM modestly beats SRAM; SILO beats both on geomean,
+    # with the biggest gains on MapReduce / SAT Solver
+    assert perf[("Geomean", "3level-eDRAM")] > 1.0
+    assert perf[("Geomean", "3level-SILO")] > 1.0
+    assert perf[("MapReduce", "3level-SILO")] > \
+        perf[("MapReduce", "3level-eDRAM")]

@@ -1,0 +1,13 @@
+"""Sec. V-D quantified: SILO reduces on-chip interconnect traffic."""
+
+from repro.experiments.noc_traffic import noc_traffic
+
+
+def test_noc_traffic(run_once, record_result):
+    rows = run_once(noc_traffic, workloads=["web_search", "mapreduce"])
+    record_result("noc_traffic", rows, title="NOC link traversals per "
+                  "kilo-instruction")
+    for r in rows:
+        # local vault hits never enter the mesh: SILO must cut traffic
+        assert r["silo_links_per_ki"] < r["baseline_links_per_ki"]
+        assert r["reduction"] > 0.3

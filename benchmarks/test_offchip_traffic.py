@@ -1,0 +1,14 @@
+"""Off-chip traffic (bytes per kilo-instruction), Baseline vs SILO."""
+
+from repro.experiments.noc_traffic import offchip_traffic
+
+
+def test_offchip_traffic(run_once, record_result):
+    rows = run_once(offchip_traffic,
+                    workloads=["web_search", "sat_solver"])
+    record_result("offchip_traffic", rows, title="Off-chip traffic "
+                  "(bytes per kilo-instruction)")
+    for r in rows:
+        # the high vault hit rate slashes off-chip traffic (the
+        # mechanism behind Fig. 13's energy saving)
+        assert r["reduction"] > 0.3

@@ -1,0 +1,14 @@
+"""Table I: latency- vs capacity-optimized vault design points."""
+
+from repro.experiments.technology import table1_design_points
+
+
+def test_table1_design_points(run_once, record_result):
+    rows = run_once(table1_design_points)
+    record_result("table1", rows,
+                  title="Table I: latency- vs capacity-optimized vaults")
+    by_metric = {r["metric"]: r for r in rows}
+    # paper: area efficiency 1.74x, tiles 0.25x, latency 1.8x
+    assert 1.5 <= by_metric["area_efficiency"]["capacity_optimized"] <= 2.2
+    assert by_metric["number_of_tiles"]["capacity_optimized"] < 0.5
+    assert 1.6 <= by_metric["access_latency"]["capacity_optimized"] <= 2.0

@@ -1,0 +1,20 @@
+"""Table VI: performance isolation under colocation."""
+
+from repro.experiments.isolation import table6_isolation
+
+
+def test_table6_isolation(run_once, record_result):
+    rows = run_once(table6_isolation)
+    record_result("table6", rows, title="Table VI: Web Search "
+                  "performance (normalized to alone @ shared LLC)")
+    alone = {r["setup"]: r for r in rows}["Web Search alone"]
+    coloc = {r["setup"]: r for r in rows}["Web Search + mcf"]
+    # paper: SILO improves Web Search ~+20% and is unaffected by mcf;
+    # the shared LLC loses ~10% under colocation
+    assert alone["shared_llc"] == 1.0
+    assert alone["silo"] > 1.05
+    assert coloc["shared_llc"] < 0.97
+    silo_retention = coloc["silo"] / alone["silo"]
+    shared_retention = coloc["shared_llc"] / alone["shared_llc"]
+    assert silo_retention > shared_retention
+    assert silo_retention > 0.93

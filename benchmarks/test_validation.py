@@ -1,0 +1,18 @@
+"""Cross-validation bench: analytic vs simulated hit rates, and the
+technology-to-Table-II link."""
+
+from repro.experiments.validation import (validate_hit_rates,
+                                          validate_technology_link)
+
+
+def test_validation(run_once, record_result):
+    rows = run_once(validate_hit_rates, workloads=["web_search",
+                                                   "mapreduce"])
+    rows += validate_technology_link()
+    record_result("validation", rows, title="Cross-validation: analytic "
+                  "vs simulated; technology vs Table II")
+    for r in rows:
+        if "simulated" in r:
+            assert r["simulated"] <= r["analytic_upper_bound"] + 0.05
+        if "matches" in r:
+            assert r["matches"]

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Architect a die-stacked DRAM vault from the technology model up.
+
+Walks the paper's Sec. IV flow: explore the tile-dimension trade-off,
+sweep the full vault design space under a 5 mm^2 / 4-die stacking
+budget, pick the latency- and capacity-optimized points (Table I), and
+derive the system-level vault parameters that Table II uses.
+
+Run:  python examples/design_a_vault.py
+"""
+
+from repro.dram import (StackConfig, sweep_vault_designs, pareto_frontier,
+                        latency_optimized_point, capacity_optimized_point,
+                        tile_dimension_sweep)
+from repro.core.silo import SiloDesign
+
+
+def main():
+    print("== Tile dimension trade-off (Fig. 7) ==")
+    for r in tile_dimension_sweep():
+        print("  %9s  latency %5.2f ns (%.2fx)   area %5.1f mm^2 (%.2fx)"
+              % (r["tile"], r["latency_ns"], r["norm_latency"],
+                 r["area_mm2"], r["norm_area"]))
+
+    stack = StackConfig(layers=4, footprint_mm2=5.0)
+    print()
+    print("== Vault design space under a %d-die, %.0f mm^2 stack =="
+          % (stack.layers, stack.footprint_mm2))
+    print("  thermal rise: %.1f C (feasible: %s)"
+          % (stack.temperature_rise_celsius(),
+             stack.is_thermally_feasible()))
+
+    points = sweep_vault_designs(stack=stack)
+    frontier = pareto_frontier(points)
+    print("  %d designs fit the budget; Pareto frontier:" % len(points))
+    for p in frontier[::4]:
+        print("    %s" % p.describe())
+
+    lo = latency_optimized_point(points)
+    co = capacity_optimized_point(points)
+    print()
+    print("latency-optimized:  %s" % lo.describe())
+    print("capacity-optimized: %s" % co.describe())
+    print("  latency ratio %.2fx, area-efficiency ratio %.2fx (Table I)"
+          % (co.access_time_ns / lo.access_time_ns,
+             co.area_efficiency() / lo.area_efficiency()))
+
+    print()
+    print("== Derived system parameters (Table II) ==")
+    for label, capacity_opt in (("SILO", False), ("SILO-CO", True)):
+        d = SiloDesign.from_technology(capacity_optimized=capacity_opt)
+        print("  %-8s %4d MB/vault, %2d cycles raw -> %2d cycles total "
+              "access  (matches Table II: %s)"
+              % (label, d.vault_capacity_bytes >> 20,
+                 d.vault_raw_latency_cycles,
+                 d.vault_total_latency_cycles,
+                 d.matches_table_ii(capacity_optimized=capacity_opt)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so editable installs use the setup.py develop path."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""Analytic cache models used to cross-check the trace-driven
+simulator."""
+
+from repro.analytic.che import che_hit_rate, zipf_weights, lru_hit_rate_irm
+
+__all__ = ["che_hit_rate", "zipf_weights", "lru_hit_rate_irm"]

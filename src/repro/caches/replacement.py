@@ -1,0 +1,63 @@
+"""Replacement policies for set-associative caches.
+
+A policy decides which resident tag a full set evicts.  Sets are plain
+``dict``s (tag -> state); Python dicts preserve insertion order, which
+the LRU and FIFO policies exploit: LRU reinserts a tag on every touch so
+the first key is always least-recently used, FIFO never reorders.
+"""
+
+import random
+
+
+class LRUPolicy:
+    """Least-recently-used: touched tags move to the back of the set."""
+
+    name = "lru"
+    reorder_on_hit = True
+
+    def victim(self, entries):
+        """Return the tag to evict from a full set."""
+        return next(iter(entries))
+
+
+class FIFOPolicy:
+    """First-in-first-out: eviction order is insertion order."""
+
+    name = "fifo"
+    reorder_on_hit = False
+
+    def victim(self, entries):
+        return next(iter(entries))
+
+
+class RandomPolicy:
+    """Uniformly random victim (deterministic given the seed)."""
+
+    name = "random"
+    reorder_on_hit = False
+
+    def __init__(self, seed=0):
+        self._rng = random.Random(seed)
+
+    def victim(self, entries):
+        keys = list(entries)
+        return keys[self._rng.randrange(len(keys))]
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name, seed=0):
+    """Instantiate a replacement policy by name ('lru', 'fifo', 'random')."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError("unknown replacement policy %r (choose from %s)"
+                         % (name, sorted(_POLICIES)))
+    if cls is RandomPolicy:
+        return cls(seed)
+    return cls()

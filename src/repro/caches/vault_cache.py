@@ -1,0 +1,85 @@
+"""Direct-mapped die-stacked DRAM vault cache (SILO's private LLC).
+
+Sec. V-A: the vault is block-based and direct-mapped; each 64 B data
+block is stored together with its tag as a unified TAD (tag-and-data)
+fetch unit, so one DRAM access resolves both tag check and data.  The
+vault is inclusive of the core's on-chip caches.
+
+Tags and coherence states are flat lists indexed by set, which doubles
+as the physical duplicate-tag directory content (Fig. 9): the directory
+way for core ``c`` of set ``s`` IS ``(tags[s], states[s])`` of core
+``c``'s vault.
+"""
+
+from repro.params import BLOCK_BYTES
+
+
+class VaultCache:
+    """A direct-mapped vault of 64-byte TAD blocks."""
+
+    def __init__(self, size_bytes, block_bytes=BLOCK_BYTES):
+        if size_bytes <= 0 or size_bytes % block_bytes != 0:
+            raise ValueError("vault size must be a positive multiple of "
+                             "the block size")
+        self.size_bytes = size_bytes
+        self.block_bytes = block_bytes
+        self.num_sets = size_bytes // block_bytes
+        self.tags = [-1] * self.num_sets     # -1 == invalid
+        self.states = [0] * self.num_sets
+
+    @property
+    def capacity_blocks(self):
+        return self.num_sets
+
+    def set_index(self, block):
+        return block % self.num_sets
+
+    def lookup(self, block):
+        """Return the coherence state if the block is resident, else None."""
+        s = block % self.num_sets
+        if self.tags[s] == block:
+            return self.states[s]
+        return None
+
+    def contains(self, block):
+        return self.tags[block % self.num_sets] == block
+
+    def update(self, block, state):
+        s = block % self.num_sets
+        if self.tags[s] != block:
+            raise KeyError("block %d not resident in vault" % block)
+        self.states[s] = state
+
+    def insert(self, block, state):
+        """Fill a block; returns the evicted (victim_block, victim_state)
+        or None.  A direct-mapped fill always evicts the set's current
+        resident (if any and different)."""
+        s = block % self.num_sets
+        old_tag = self.tags[s]
+        victim = None
+        if old_tag != -1 and old_tag != block:
+            victim = (old_tag, self.states[s])
+        self.tags[s] = block
+        self.states[s] = state
+        return victim
+
+    def invalidate(self, block):
+        s = block % self.num_sets
+        if self.tags[s] == block:
+            state = self.states[s]
+            self.tags[s] = -1
+            self.states[s] = 0
+            return state
+        return None
+
+    def blocks(self):
+        for s, tag in enumerate(self.tags):
+            if tag != -1:
+                yield tag, self.states[s]
+
+    def occupancy(self):
+        return sum(1 for t in self.tags if t != -1)
+
+    def clear(self):
+        self.tags = [-1] * self.num_sets
+        self.states = [0] * self.num_sets

@@ -1,0 +1,15 @@
+"""Cache coherence: MESI/MOESI states, the baseline's L1 sharer table,
+and SILO's duplicate-tag in-DRAM directory."""
+
+from repro.coherence.states import (
+    INVALID, SHARED, EXCLUSIVE, OWNED, MODIFIED,
+    is_dirty, state_name, MESI_STATES, MOESI_STATES,
+)
+from repro.coherence.sharer_table import SharerTable
+from repro.coherence.dup_tag_directory import DupTagDirectory
+
+__all__ = [
+    "INVALID", "SHARED", "EXCLUSIVE", "OWNED", "MODIFIED",
+    "is_dirty", "state_name", "MESI_STATES", "MOESI_STATES",
+    "SharerTable", "DupTagDirectory",
+]

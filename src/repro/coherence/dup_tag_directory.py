@@ -1,0 +1,69 @@
+"""SILO's duplicate-tag directory (Fig. 9).
+
+Logically the directory is an N-way associative tag store where N is
+the core count; the way position of an entry identifies the core whose
+vault caches the block, so no sharing vector is needed.  Because every
+vault is direct-mapped and inclusive of its core's L1s, the directory's
+content is *exactly* the concatenation of the vault tag arrays -- so
+this class is a view over the vaults rather than a second copy that
+could drift out of sync.
+
+Physically the directory metadata is distributed across the vaults in
+an address-interleaved fashion: block ``b``'s home node is
+``b % num_cores``, and reading its directory set costs one DRAM access
+at the home vault (charged by the timing model, see
+:class:`repro.sim.system.System`).
+"""
+
+
+class DupTagDirectory:
+    """View of the vault tag arrays as an N-way duplicate-tag directory."""
+
+    def __init__(self, vaults):
+        if not vaults:
+            raise ValueError("need at least one vault")
+        sets = vaults[0].num_sets
+        if any(v.num_sets != sets for v in vaults):
+            raise ValueError("all vaults must have the same set count")
+        self.vaults = vaults
+        self.num_cores = len(vaults)
+        self.num_sets = sets
+
+    def home_node(self, block):
+        """Node whose vault physically stores this block's directory set."""
+        return block % self.num_cores
+
+    def sharers(self, block):
+        """Cores whose vaults currently cache ``block`` (reads all N
+        logical ways of the directory set, as the paper describes)."""
+        s = block % self.num_sets
+        return [c for c, v in enumerate(self.vaults) if v.tags[s] == block]
+
+    def holder_states(self, block):
+        """List of (core, state) pairs for vaults caching the block."""
+        s = block % self.num_sets
+        return [(c, v.states[s]) for c, v in enumerate(self.vaults)
+                if v.tags[s] == block]
+
+    def is_cached(self, block):
+        s = block % self.num_sets
+        return any(v.tags[s] == block for v in self.vaults)
+
+    def entry(self, block, core):
+        """The directory entry (tag, state) at way ``core`` of the
+        block's set -- None if that way holds a different block."""
+        s = block % self.num_sets
+        v = self.vaults[core]
+        if v.tags[s] == block:
+            return (block, v.states[s])
+        return None
+
+    def storage_bits_per_entry(self, tag_bits=28, state_bits=3):
+        """Size of one directory entry (Fig. 9 shows a tag plus 3 state
+        bits)."""
+        return tag_bits + state_bits
+
+    def total_entries(self):
+        """Capacity of the directory: one entry per vault block across
+        all cores (duplicate tags for the full private LLC capacity)."""
+        return self.num_cores * self.num_sets

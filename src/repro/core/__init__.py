@@ -1,0 +1,26 @@
+"""SILO: the paper's contribution, plus every evaluated alternative.
+
+`repro.core.systems` builds the five systems of the main evaluation
+(Baseline, Baseline+DRAM$, SILO, SILO-CO, Vaults-Sh) and the 3-level
+variants; `repro.core.silo` derives SILO's vault parameters from the
+DRAM technology model and checks them against Table II.
+"""
+
+from repro.core.config import (
+    TABLE_II, TABLE_III, TABLE_IV, EVALUATED_SYSTEMS,
+    THREE_LEVEL_SYSTEMS)
+from repro.core.systems import (
+    baseline_config, baseline_dram_cache_config, silo_config,
+    silo_co_config, vaults_sh_config, three_level_sram_config,
+    three_level_edram_config, three_level_silo_config, system_config,
+)
+from repro.core.silo import SiloDesign
+
+__all__ = [
+    "TABLE_II", "TABLE_III", "TABLE_IV", "EVALUATED_SYSTEMS",
+    "THREE_LEVEL_SYSTEMS",
+    "baseline_config", "baseline_dram_cache_config", "silo_config",
+    "silo_co_config", "vaults_sh_config", "three_level_sram_config",
+    "three_level_edram_config", "three_level_silo_config",
+    "system_config", "SiloDesign",
+]

@@ -1,0 +1,113 @@
+"""The paper's configuration tables, encoded verbatim.
+
+``TABLE_II`` -- microarchitectural parameters of the simulated systems.
+``TABLE_III`` -- memory subsystem energy/power parameters.
+(Table IV is the workload catalogue in :mod:`repro.workloads`; Table V
+is ``repro.workloads.spec.SPEC_MIXES``.)
+"""
+
+from repro import params as P
+
+TABLE_II = {
+    "processor": {
+        "cores": P.NUM_CORES,
+        "freq_ghz": P.CORE_FREQ_GHZ,
+        "issue_width": P.ISSUE_WIDTH,
+        "rob_entries": P.ROB_ENTRIES,
+        "isa": "UltraSPARC v9",
+    },
+    "l1": {
+        "size_bytes": P.L1_SIZE_BYTES,
+        "ways": P.L1_WAYS,
+        "line_bytes": P.BLOCK_BYTES,
+        "latency_cycles": P.L1_LATENCY,
+        "private": True,
+        "prefetcher": "stride",
+    },
+    "interconnect": {
+        "topology": "4x4 2D mesh",
+        "hop_cycles": P.MESH_HOP_LATENCY,
+    },
+    "baseline_llc": {
+        "size_bytes": P.BASELINE_LLC_SIZE_BYTES,
+        "organization": "shared NUCA",
+        "bank_latency_cycles": P.BASELINE_LLC_BANK_LATENCY,
+        "avg_round_trip_cycles": P.BASELINE_LLC_AVG_ROUND_TRIP,
+        "ways": P.BASELINE_LLC_WAYS,
+        "line_bytes": P.BLOCK_BYTES,
+        "inclusion": "non-inclusive",
+        "protocol": "MESI",
+        "replacement": "LRU",
+    },
+    "silo_llc": {
+        "organization": "private, direct-mapped",
+        "line_bytes": P.BLOCK_BYTES,
+        "page_bytes": P.SILO_PAGE_BYTES,
+        "inclusion": "inclusive",
+        "protocol": "MOESI",
+        "vault_bytes": P.SILO_VAULT_SIZE_BYTES,
+        "vault_total_latency_cycles": P.SILO_VAULT_TOTAL_LATENCY,
+        "co_vault_bytes": P.SILO_CO_VAULT_SIZE_BYTES,
+        "co_vault_total_latency_cycles": P.SILO_CO_VAULT_TOTAL_LATENCY,
+    },
+    "trad_dram_cache": {
+        "size_bytes": P.TRAD_DRAM_CACHE_SIZE_BYTES,
+        "organization": "page-based, direct-mapped",
+        "latency_ns": P.TRAD_DRAM_CACHE_LATENCY_NS,
+    },
+    "main_memory": {
+        "latency_ns": P.MEMORY_LATENCY_NS,
+    },
+}
+
+TABLE_III = {
+    "baseline_llc": {
+        "static_w_per_bank": P.SRAM_LLC_STATIC_W_PER_BANK,
+        "dynamic_nj_per_access": P.SRAM_LLC_DYNAMIC_NJ_PER_ACCESS,
+    },
+    "silo_llc": {
+        "static_w_per_vault": P.VAULT_STATIC_W,
+        "dynamic_nj_per_access": P.VAULT_DYNAMIC_NJ_PER_ACCESS,
+    },
+    "main_memory": {
+        "static_w": P.MEMORY_STATIC_W,
+        "dynamic_nj_per_access": P.MEMORY_DYNAMIC_NJ_PER_ACCESS,
+    },
+}
+
+#: Table IV: the server workloads and the software stacks the paper ran
+#: (our models are statistical stand-ins for these -- see
+#: repro.workloads and DESIGN.md).
+TABLE_IV = {
+    "web_search": {"suite": "scale-out",
+                   "software": "Apache Nutch 1.2 / Lucene 3.0.1",
+                   "load": "92 clients, 1.4 GB index, 15 GB data segment"},
+    "data_serving": {"suite": "scale-out",
+                     "software": "Apache Cassandra 0.7.3",
+                     "load": "150 clients, 8000 ops/s"},
+    "web_frontend": {"suite": "scale-out",
+                     "software": "Apache HTTP Server v2.0 (SPECweb2009)",
+                     "load": "16K connections, fastCGI"},
+    "mapreduce": {"suite": "scale-out",
+                  "software": "Hadoop MapReduce, Mahout 0.6",
+                  "load": "Bayesian classification"},
+    "sat_solver": {"suite": "scale-out",
+                   "software": "Cloud9 / Klee SAT solver",
+                   "load": "parallel symbolic execution"},
+    "tpcc": {"suite": "enterprise",
+             "software": "IBM DB2 v8 ESE",
+             "load": "64 clients, 100 warehouses (10 GB), 2 GB pool"},
+    "oracle": {"suite": "enterprise",
+               "software": "Oracle 10g Enterprise",
+               "load": "100 warehouses (10 GB), 1.4 GB SGA"},
+    "zeus": {"suite": "enterprise",
+             "software": "Zeus Web Server",
+             "load": "16K connections, fastCGI"},
+}
+
+#: The five systems of the main evaluation (Sec. VI-A), in figure order.
+EVALUATED_SYSTEMS = ("baseline", "baseline_dram", "silo", "silo_co",
+                     "vaults_sh")
+
+#: The 3-level study's systems (Sec. VII-F).
+THREE_LEVEL_SYSTEMS = ("3level_sram", "3level_edram", "3level_silo")

@@ -1,0 +1,66 @@
+"""SiloDesign: ties the DRAM technology model to the simulated system.
+
+The paper's flow is: sweep the vault design space with CACTI-3DD
+(Sec. IV-D), pick the latency-optimized (256 MB @ 5.5 ns -> 11 cycles)
+and capacity-optimized (512 MB -> 20 cycles) points, add serialization
+(8 cycles, 64-bit TAD interface) and vault controller (4 cycles)
+delays, and feed the resulting 23 / 32 cycle access latencies into the
+full-system simulation (Table II).  ``SiloDesign`` performs exactly
+that derivation from our analytic DRAM model.
+"""
+
+from dataclasses import dataclass
+
+from repro import params as P
+from repro.dram.stacking import StackConfig
+from repro.dram.sweep import (
+    sweep_vault_designs, latency_optimized_point, capacity_optimized_point)
+from repro.core.systems import silo_config
+
+
+@dataclass(frozen=True)
+class SiloDesign:
+    """A SILO design derived from the DRAM model."""
+
+    vault_capacity_bytes: int
+    vault_raw_latency_cycles: int
+    vault_total_latency_cycles: int
+    design_description: str
+
+    @classmethod
+    def from_technology(cls, capacity_optimized=False, stack=None):
+        """Run the vault design-space sweep and derive the system-level
+        vault parameters from the chosen design point."""
+        if stack is None:
+            stack = StackConfig()
+        points = sweep_vault_designs(stack=stack)
+        if capacity_optimized:
+            point = capacity_optimized_point(points)
+        else:
+            point = latency_optimized_point(points)
+        raw_cycles = max(1, round(point.access_time_ns / P.NS_PER_CYCLE))
+        total = (raw_cycles + P.SILO_SERIALIZATION_LATENCY
+                 + P.SILO_CONTROLLER_LATENCY)
+        return cls(
+            vault_capacity_bytes=point.vault_capacity_bytes,
+            vault_raw_latency_cycles=raw_cycles,
+            vault_total_latency_cycles=total,
+            design_description=point.describe(),
+        )
+
+    def hierarchy_config(self, num_cores=P.NUM_CORES, scale=64,
+                         **overrides):
+        """A HierarchyConfig using this design's derived vault
+        parameters instead of the Table II constants."""
+        return silo_config(
+            num_cores=num_cores, scale=scale,
+            llc_size_bytes=self.vault_capacity_bytes,
+            llc_latency=self.vault_total_latency_cycles,
+            **overrides)
+
+    def matches_table_ii(self, capacity_optimized=False, tolerance=3):
+        """True if the derived total latency is within ``tolerance``
+        cycles of the paper's Table II value."""
+        target = (P.SILO_CO_VAULT_TOTAL_LATENCY if capacity_optimized
+                  else P.SILO_VAULT_TOTAL_LATENCY)
+        return abs(self.vault_total_latency_cycles - target) <= tolerance

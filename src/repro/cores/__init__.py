@@ -1,0 +1,5 @@
+"""Out-of-order core performance model."""
+
+from repro.cores.perf_model import CoreModel, CoreParams
+
+__all__ = ["CoreModel", "CoreParams"]

@@ -1,0 +1,48 @@
+"""Analytic DRAM technology model (CACTI-3DD substitute).
+
+This package models the internal organization of a DRAM die -- banks,
+subarrays, tiles, bitlines/wordlines and their peripheral circuitry -- and
+derives access latency and die area from the geometry, following the
+physics described in Sec. IV of the paper:
+
+* transmission delay grows (quadratically, distributed RC) with the length
+  of unbuffered bitlines and local wordlines, i.e. with tile dimensions;
+* shorter lines require more peripheral circuitry (sense amplifiers per
+  subarray, local wordline drivers per tile), which costs area.
+
+The model is calibrated to the paper's published anchor points (see
+:mod:`repro.dram.technology`).  It powers the reproduction of Fig. 7
+(tile-dimension sweep), Fig. 8 (vault capacity/latency design space) and
+Table I (latency- vs capacity-optimized vault designs).
+"""
+
+from repro.dram.technology import TechnologyParams, TECH_22NM
+from repro.dram.tile import Tile, area_overhead_factor
+from repro.dram.timing import access_time_ns
+from repro.dram.die import DieOrganization
+from repro.dram.stacking import StackConfig, thermal_headroom_celsius
+from repro.dram.sweep import (
+    VaultDesignPoint,
+    sweep_vault_designs,
+    pareto_frontier,
+    latency_optimized_point,
+    capacity_optimized_point,
+    tile_dimension_sweep,
+)
+
+__all__ = [
+    "TechnologyParams",
+    "TECH_22NM",
+    "Tile",
+    "area_overhead_factor",
+    "access_time_ns",
+    "DieOrganization",
+    "StackConfig",
+    "thermal_headroom_celsius",
+    "VaultDesignPoint",
+    "sweep_vault_designs",
+    "pareto_frontier",
+    "latency_optimized_point",
+    "capacity_optimized_point",
+    "tile_dimension_sweep",
+]

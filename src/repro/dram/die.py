@@ -1,0 +1,98 @@
+"""Die-level DRAM organization: banks, pages, subarrays, tiles.
+
+A :class:`DieOrganization` describes one DRAM die of a stacked vault:
+how many banks it has, the page (row) width of each bank, the tile
+geometry, and how many subarrays are stacked per bank.  From those it
+derives capacity, area and access time using the tile/timing models.
+"""
+
+from dataclasses import dataclass
+
+from repro.dram.technology import TECH_22NM
+from repro.dram.tile import Tile, array_area_mm2, area_efficiency
+from repro.dram import timing
+
+
+@dataclass(frozen=True)
+class DieOrganization:
+    """One DRAM die.
+
+    Attributes
+    ----------
+    banks:
+        Independent banks on the die.
+    page_bytes:
+        Page (row buffer) size of a bank in bytes; the page spans the
+        bank's full column width.
+    tile:
+        Tile geometry.  ``page_bytes * 8`` must be a multiple of
+        ``tile.cols`` (the tiles of one subarray together span the page).
+    subarrays_per_bank:
+        Number of subarrays stacked vertically in a bank; each subarray
+        contributes ``tile.rows`` rows.
+    """
+
+    banks: int
+    page_bytes: int
+    tile: Tile
+    subarrays_per_bank: int
+
+    def __post_init__(self):
+        if self.banks <= 0:
+            raise ValueError("banks must be positive")
+        if self.subarrays_per_bank <= 0:
+            raise ValueError("subarrays_per_bank must be positive")
+        if (self.page_bytes * 8) % self.tile.cols != 0:
+            raise ValueError(
+                "page width (%d bits) must be a multiple of tile cols (%d)"
+                % (self.page_bytes * 8, self.tile.cols))
+
+    @property
+    def page_bits(self):
+        return self.page_bytes * 8
+
+    @property
+    def tiles_per_subarray(self):
+        """Ndwl: tiles side by side across the page."""
+        return self.page_bits // self.tile.cols
+
+    @property
+    def rows_per_bank(self):
+        return self.tile.rows * self.subarrays_per_bank
+
+    @property
+    def bank_bits(self):
+        return self.page_bits * self.rows_per_bank
+
+    @property
+    def capacity_bits(self):
+        return self.bank_bits * self.banks
+
+    @property
+    def capacity_bytes(self):
+        return self.capacity_bits // 8
+
+    @property
+    def total_tiles(self):
+        return self.banks * self.subarrays_per_bank * self.tiles_per_subarray
+
+    def area_mm2(self, tech=TECH_22NM):
+        """Total die area including tile, bank and die fixed overheads."""
+        return (array_area_mm2(self.capacity_bits, self.tile, tech)
+                + self.banks * tech.bank_overhead_mm2
+                + tech.die_fixed_mm2)
+
+    def area_efficiency(self, tech=TECH_22NM):
+        """Cell area divided by total die area."""
+        cell_mm2 = self.capacity_bits * tech.cell_area_um2 / 1e6
+        return cell_mm2 / self.area_mm2(tech)
+
+    def access_time_ns(self, tech=TECH_22NM, stacked=False):
+        return timing.access_time_ns(self.tile, self.page_bits,
+                                     self.rows_per_bank, tech,
+                                     stacked=stacked)
+
+    def tile_area_efficiency(self, tech=TECH_22NM):
+        """Array-level area efficiency (excluding bank/die fixed costs),
+        the quantity compared in Table I."""
+        return area_efficiency(self.tile, tech)

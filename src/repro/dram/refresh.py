@@ -1,0 +1,61 @@
+"""DRAM refresh overhead model.
+
+Every DRAM cell must be refreshed within its retention time (64 ms at
+normal temperatures).  Refresh occupies banks and therefore taxes both
+availability and energy.  The paper does not evaluate refresh, but any
+real die-stacked cache pays it; this model quantifies the tax for a
+vault organization so users can check it stays negligible (it does:
+fine-grained banks refresh a few rows each, and the per-vault overhead
+lands well under 1% of bank time for the latency-optimized design).
+"""
+
+from dataclasses import dataclass
+
+from repro.dram.die import DieOrganization
+
+#: JEDEC-style retention window at <= 85C.
+RETENTION_MS = 64.0
+
+#: Time to refresh one row (activate + restore + precharge), ns.  Uses
+#: a conservative commodity-class value rather than the optimized
+#: access path (refresh is row-granular regardless of column circuits).
+ROW_REFRESH_NS = 50.0
+
+
+@dataclass(frozen=True)
+class RefreshOverhead:
+    """Refresh cost summary for one die."""
+
+    rows_per_bank: int
+    refresh_interval_us: float   # time between row refreshes per bank
+    bank_busy_fraction: float    # fraction of bank time spent refreshing
+    refresh_power_mw_per_die: float
+
+    @property
+    def is_negligible(self):
+        """True when refresh steals less than 1% of bank time."""
+        return self.bank_busy_fraction < 0.01
+
+
+def refresh_overhead(die, row_energy_nj=1.0):
+    """Refresh cost of a :class:`DieOrganization`.
+
+    Each of a bank's rows must be refreshed once per retention window;
+    banks refresh independently (per-bank refresh, standard for stacked
+    DRAM), so the bank is busy ``rows * t_row`` out of every window.
+    """
+    if not isinstance(die, DieOrganization):
+        raise TypeError("expected a DieOrganization")
+    rows = die.rows_per_bank
+    window_ns = RETENTION_MS * 1e6
+    busy_fraction = rows * ROW_REFRESH_NS / window_ns
+    interval_us = (window_ns / rows) / 1e3
+    # energy: every row of every bank refreshed once per window
+    total_rows = rows * die.banks
+    power_mw = total_rows * row_energy_nj / (RETENTION_MS * 1e-3) * 1e-6
+    return RefreshOverhead(
+        rows_per_bank=rows,
+        refresh_interval_us=interval_us,
+        bank_busy_fraction=busy_fraction,
+        refresh_power_mw_per_die=power_mw,
+    )

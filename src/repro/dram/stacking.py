@@ -1,0 +1,59 @@
+"""3D stacking of DRAM dies over the CPU: vault stacks and thermals.
+
+Sec. IV-D: SILO conservatively stacks 4 DRAM dies over the CPU die, one
+vault footprint (5 mm^2) above each core.  Up to 8 DRAM layers have been
+shown to raise chip temperature by only ~6.5 C [19], so we model the
+thermal cost as linear in the layer count and expose a feasibility
+check.
+"""
+
+from dataclasses import dataclass
+
+from repro.dram.technology import TECH_22NM
+
+# Published thermal anchor: 8 extra DRAM layers -> +6.5 C ([19]).
+CELSIUS_PER_LAYER = 6.5 / 8.0
+
+# Conservative headroom budget for a server part before stacking starts
+# to eat into the CPU's thermal envelope.
+DEFAULT_THERMAL_BUDGET_C = 10.0
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """A vault stack: ``layers`` DRAM dies over a ``footprint_mm2``
+    area directly above one core."""
+
+    layers: int = 4
+    footprint_mm2: float = 5.0
+
+    def __post_init__(self):
+        if self.layers <= 0:
+            raise ValueError("layers must be positive")
+        if self.footprint_mm2 <= 0:
+            raise ValueError("footprint_mm2 must be positive")
+
+    def usable_area_per_die_mm2(self, tech=TECH_22NM):
+        """Array area available on each die after power/clock routing."""
+        return self.footprint_mm2 * tech.usable_area_fraction
+
+    def vault_capacity_bytes(self, die_capacity_bytes):
+        """Capacity of the whole vault given one die's capacity."""
+        return self.layers * die_capacity_bytes
+
+    def temperature_rise_celsius(self):
+        """Estimated chip temperature increase from this stack."""
+        return self.layers * CELSIUS_PER_LAYER
+
+    def is_thermally_feasible(self, budget_c=DEFAULT_THERMAL_BUDGET_C):
+        return self.temperature_rise_celsius() <= budget_c
+
+
+def thermal_headroom_celsius(layers, budget_c=DEFAULT_THERMAL_BUDGET_C):
+    """Remaining thermal budget after stacking ``layers`` DRAM dies."""
+    return budget_c - layers * CELSIUS_PER_LAYER
+
+
+def max_feasible_layers(budget_c=DEFAULT_THERMAL_BUDGET_C):
+    """Largest stack that stays within the thermal budget."""
+    return int(budget_c / CELSIUS_PER_LAYER)

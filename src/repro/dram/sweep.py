@@ -1,0 +1,200 @@
+"""Design-space exploration of stacked DRAM vaults (Fig. 7, Fig. 8, Table I).
+
+``sweep_vault_designs`` enumerates die organizations (banks, page size,
+tile geometry) under a vault area budget, maximizing subarray count per
+bank to fill the available area, and reports each design's capacity and
+access latency.  ``pareto_frontier`` extracts the capacity/latency
+frontier plotted in Fig. 8, and ``latency_optimized_point`` /
+``capacity_optimized_point`` select the two designs contrasted in
+Table I and used by the SILO and SILO-CO system configurations.
+"""
+
+from dataclasses import dataclass
+
+from repro.params import MB
+from repro.dram.technology import TECH_22NM
+from repro.dram.tile import Tile, array_area_mm2, area_efficiency
+from repro.dram.die import DieOrganization
+from repro.dram.stacking import StackConfig
+
+DEFAULT_BANK_CHOICES = (8, 16, 32, 64, 128)
+DEFAULT_PAGE_CHOICES = (512, 1024, 2048, 4096, 8192)
+DEFAULT_TILE_DIMS = (64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class VaultDesignPoint:
+    """One point of the vault design space: a die organization plus the
+    stack it lives in, with derived capacity/latency/area metrics."""
+
+    die: DieOrganization
+    stack: StackConfig
+    vault_capacity_bytes: int
+    access_time_ns: float
+    die_area_mm2: float
+
+    @property
+    def vault_capacity_mb(self):
+        return self.vault_capacity_bytes / MB
+
+    def area_efficiency(self, tech=TECH_22NM):
+        return self.die.tile_area_efficiency(tech)
+
+    def describe(self):
+        return ("%.0fMB vault @ %.2fns (banks=%d page=%dB tile=%s "
+                "subarrays=%d)" % (self.vault_capacity_mb,
+                                   self.access_time_ns, self.die.banks,
+                                   self.die.page_bytes, self.die.tile,
+                                   self.die.subarrays_per_bank))
+
+
+def _max_subarrays(banks, page_bytes, tile, stack, tech):
+    """Largest subarray count per bank that still fits the area budget."""
+    budget = stack.usable_area_per_die_mm2(tech)
+    fixed = banks * tech.bank_overhead_mm2 + tech.die_fixed_mm2
+    if fixed >= budget:
+        return 0
+    bits_per_subarray_layer = banks * page_bytes * 8 * tile.rows
+    area_per_subarray = array_area_mm2(bits_per_subarray_layer, tile, tech)
+    if area_per_subarray <= 0:
+        return 0
+    return int((budget - fixed) / area_per_subarray)
+
+
+def _subarray_choices(max_subarrays):
+    """Subarray counts to emit for one (banks, page, tile) config: the
+    area-filling maximum plus smaller powers of two, so that the
+    low-capacity region of the Fig. 8 scatter is populated."""
+    choices = {max_subarrays}
+    n = 1
+    while n < max_subarrays:
+        choices.add(n)
+        n *= 2
+    return sorted(choices)
+
+
+def sweep_vault_designs(stack=None, tech=TECH_22NM,
+                        bank_choices=DEFAULT_BANK_CHOICES,
+                        page_choices=DEFAULT_PAGE_CHOICES,
+                        tile_dims=DEFAULT_TILE_DIMS,
+                        fill_area_only=False):
+    """Enumerate all vault designs that fit the stack's area budget.
+
+    For every (banks, page, tile) combination the subarray count ranges
+    over powers of two up to the maximum that fits the 5 mm^2 per-vault
+    budget, mirroring the paper's sweep (Fig. 8).  Pass
+    ``fill_area_only=True`` to emit only the area-filling maximum per
+    configuration.  Returns a list of :class:`VaultDesignPoint`.
+    """
+    if stack is None:
+        stack = StackConfig()
+    points = []
+    for banks in bank_choices:
+        for page_bytes in page_choices:
+            page_bits = page_bytes * 8
+            for rows in tile_dims:
+                for cols in tile_dims:
+                    if page_bits % cols != 0:
+                        continue
+                    tile = Tile(rows, cols)
+                    nmax = _max_subarrays(banks, page_bytes, tile, stack,
+                                          tech)
+                    if nmax < 1:
+                        continue
+                    if fill_area_only:
+                        counts = [nmax]
+                    else:
+                        counts = _subarray_choices(nmax)
+                    for nsub in counts:
+                        die = DieOrganization(banks=banks,
+                                              page_bytes=page_bytes,
+                                              tile=tile,
+                                              subarrays_per_bank=nsub)
+                        points.append(VaultDesignPoint(
+                            die=die,
+                            stack=stack,
+                            vault_capacity_bytes=stack.vault_capacity_bytes(
+                                die.capacity_bytes),
+                            access_time_ns=die.access_time_ns(tech,
+                                                              stacked=True),
+                            die_area_mm2=die.area_mm2(tech),
+                        ))
+    return points
+
+
+def pareto_frontier(points):
+    """Capacity/latency Pareto frontier: keep a point only if no other
+    point has both >= capacity and < latency (or > capacity and <=
+    latency)."""
+    frontier = []
+    for p in points:
+        dominated = any(
+            (q.vault_capacity_bytes >= p.vault_capacity_bytes
+             and q.access_time_ns < p.access_time_ns)
+            or (q.vault_capacity_bytes > p.vault_capacity_bytes
+                and q.access_time_ns <= p.access_time_ns)
+            for q in points)
+        if not dominated:
+            frontier.append(p)
+    frontier.sort(key=lambda p: p.vault_capacity_bytes)
+    return frontier
+
+
+def best_latency_at_capacity(points, min_capacity_bytes):
+    """Lowest-latency design with at least ``min_capacity_bytes``."""
+    feasible = [p for p in points
+                if p.vault_capacity_bytes >= min_capacity_bytes]
+    if not feasible:
+        raise ValueError("no design reaches %d bytes" % min_capacity_bytes)
+    return min(feasible, key=lambda p: p.access_time_ns)
+
+
+def latency_optimized_point(points, min_capacity_bytes=256 * MB):
+    """The paper's latency-optimized sweet spot: the cheapest-latency
+    design that still provides >= 256 MB per vault (Sec. IV-D)."""
+    return best_latency_at_capacity(points, min_capacity_bytes)
+
+
+def capacity_optimized_point(points, min_capacity_bytes=500 * MB):
+    """The capacity-optimized point used by SILO-CO: the lowest-latency
+    design among those reaching ~512 MB per vault.  The threshold is
+    500 MB because the discrete sweep's nearest frontier point to the
+    paper's 512 MB target is a 504 MB organization."""
+    return best_latency_at_capacity(points, min_capacity_bytes)
+
+
+def tile_dimension_sweep(tech=TECH_22NM,
+                         dims=(1024, 512, 256, 128, 64)):
+    """Fig. 7: normalized latency and area versus (square) tile size for
+    a 1 Gb die with the commodity bank/page organization.
+
+    Returns a list of dicts with keys ``tile``, ``norm_latency``,
+    ``norm_area`` (both normalized to the 1024x1024 baseline) and the
+    absolute ``latency_ns`` / ``area_mm2``.
+    """
+    from repro.dram import technology as T
+
+    die_bits = int(T.COMMODITY_DIE_GBIT * 2 ** 30)
+    page_bits = T.COMMODITY_PAGE_BYTES * 8
+    rows_per_bank = die_bits // T.COMMODITY_BANKS // page_bits
+
+    rows_out = []
+    base_latency = base_area = None
+    for dim in dims:
+        tile = Tile(dim, dim)
+        from repro.dram.timing import access_time_ns
+        latency = access_time_ns(tile, page_bits, rows_per_bank, tech)
+        area = (array_area_mm2(die_bits, tile, tech)
+                + T.COMMODITY_BANKS * tech.bank_overhead_mm2
+                + tech.die_fixed_mm2)
+        if dim == dims[0]:
+            base_latency, base_area = latency, area
+        rows_out.append({
+            "tile": str(tile),
+            "latency_ns": latency,
+            "area_mm2": area,
+            "norm_latency": latency / base_latency,
+            "norm_area": area / base_area,
+            "area_efficiency": area_efficiency(tile, tech),
+        })
+    return rows_out

@@ -1,0 +1,90 @@
+"""Technology-node parameters and calibrated model constants.
+
+The constants below were calibrated against the anchor points that the
+paper publishes for its CACTI-3DD study at 22 nm:
+
+* a commodity-style die with 1024x1024-cell tiles has a ~13 ns array
+  access time (DDR3-class random access, Fig. 7 baseline);
+* shrinking tiles from 1024x1024 to 256x256 cuts access latency by 64%
+  at a 49% area increase; 128x128 saves only 6% more latency for a
+  ~150% total area increase (Sec. IV-C);
+* a latency-optimized 256 MB vault achieves a ~5.5 ns access time under
+  a 5 mm^2 / 4-die budget, while a 512 MB capacity-optimized vault pays
+  ~80% more latency (Sec. IV-D, Fig. 8, Table I).
+
+With the distributed-RC latency model ``t = A + k * tile_dim^2`` the
+first two anchors pin ``A / k = 487423 cells^2`` and the absolute scale;
+the area anchors pin the peripheral overhead coefficients (see
+:func:`repro.dram.tile.area_overhead_factor`).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """Process and circuit constants for the analytic DRAM model.
+
+    Attributes
+    ----------
+    feature_nm:
+        Process feature size F in nanometers.
+    cell_area_um2:
+        Area of one DRAM cell (6F^2 folded cell).
+    sense_amp_cells_per_bitline:
+        Sense-amplifier area, in DRAM-cell units, charged per bitline per
+        subarray.  The paper cites sense amps as ~100x a DRAM cell.
+    wl_driver_cells_per_wordline:
+        Local wordline driver area per local wordline, in cell units.
+    tile_fixed_overhead_cells:
+        Fixed per-tile periphery (predecoders, timing, stitch regions) in
+        cell units.
+    k_bitline_ns_per_cell2:
+        Distributed-RC delay coefficient for bitline sensing; the bitline
+        contribution is ``k * tile_rows^2``.
+    k_wordline_ns_per_cell2:
+        Same for the local wordline: ``k * tile_cols^2``.
+    k_gwl_ns_per_bit:
+        Buffered global wordline delay per bit of page width.
+    k_decoder_ns_per_bit:
+        Row decoder delay per address bit (log2 of rows per bank).
+    fixed_access_ns:
+        Constant portion of an access: sense amplification, column select,
+        I/O mux.
+    bank_overhead_mm2:
+        Fixed die area per bank (row/column decoders, bank control).
+    die_fixed_mm2:
+        Fixed per-die area (I/O pads, TSV landing, test).
+    usable_area_fraction:
+        Fraction of a stacked die's footprint usable for the DRAM arrays
+        after power/clock distribution.
+    tsv_delay_ns:
+        Delay to cross the TSVs of a 3D stack (per access, not per layer;
+        TSVs are short and heavily parallel).
+    """
+
+    feature_nm: float = 22.0
+    cell_area_um2: float = 0.0029  # 6 * F^2 at F = 22 nm
+    sense_amp_cells_per_bitline: float = 95.0
+    wl_driver_cells_per_wordline: float = 20.0
+    tile_fixed_overhead_cells: float = 15000.0
+    k_bitline_ns_per_cell2: float = 5.92e-6
+    k_wordline_ns_per_cell2: float = 2.54e-6
+    k_gwl_ns_per_bit: float = 7.63e-6
+    k_decoder_ns_per_bit: float = 0.0909
+    fixed_access_ns: float = 2.90
+    bank_overhead_mm2: float = 0.02
+    die_fixed_mm2: float = 0.30
+    usable_area_fraction: float = 0.85
+    tsv_delay_ns: float = 1.00
+
+
+TECH_22NM = TechnologyParams()
+
+# Reference commodity organization used to normalize Fig. 7: a Micron
+# DDR3-style 1 Gb die with 8 banks and 8 KB pages built from 1024x1024
+# tiles (Sec. IV-C / [17]).
+COMMODITY_DIE_GBIT = 1.0
+COMMODITY_BANKS = 8
+COMMODITY_PAGE_BYTES = 8192
+COMMODITY_TILE_DIM = 1024

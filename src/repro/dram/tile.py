@@ -1,0 +1,87 @@
+"""Tile geometry and the area cost of peripheral circuitry.
+
+A *tile* is the atomic cell array: ``rows`` cells along a bitline and
+``cols`` cells along a local wordline (Fig. 6 of the paper).  Subarrays
+stack tiles horizontally (same bitline length, shared sense amplifiers);
+banks stack subarrays vertically.
+
+Shrinking a tile shortens its lines (lower delay) but multiplies the
+peripheral circuitry: one sense amplifier per bitline per subarray, one
+local wordline driver per tile row, plus fixed per-tile control.  The
+``area_overhead_factor`` captures that cost as a multiplier over raw
+cell area.
+"""
+
+from dataclasses import dataclass
+
+from repro.dram.technology import TechnologyParams, TECH_22NM
+
+
+@dataclass(frozen=True)
+class Tile:
+    """A DRAM tile: ``rows`` x ``cols`` cells.
+
+    ``rows`` is the number of cells on one bitline (vertical), ``cols``
+    the number of cells on one local wordline (horizontal).
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self):
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("tile dimensions must be positive, got %dx%d"
+                             % (self.rows, self.cols))
+
+    @property
+    def cells(self):
+        """Number of DRAM cells in the tile."""
+        return self.rows * self.cols
+
+    def __str__(self):
+        return "%dx%d" % (self.rows, self.cols)
+
+
+def area_overhead_factor(tile, tech=TECH_22NM):
+    """Multiplier of raw cell area once peripherals are added.
+
+    The factor is ``1 + sa/rows + wd/cols + fixed/(rows*cols)`` where:
+
+    * ``sa/rows`` -- sense amps are shared by all ``rows`` cells of a
+      bitline, so their per-cell cost is inversely proportional to the
+      bitline length;
+    * ``wd/cols`` -- local wordline drivers are shared by the ``cols``
+      cells of a wordline;
+    * ``fixed/(rows*cols)`` -- fixed per-tile periphery amortized over
+      the whole tile.
+
+    Calibrated (see :mod:`repro.dram.technology`) so that, relative to a
+    1024x1024 tile, a 256x256 tile costs ~+49% area and a 128x128 tile
+    ~+150%, matching Sec. IV-C.
+    """
+    if not isinstance(tile, Tile):
+        raise TypeError("expected a Tile, got %r" % (tile,))
+    return (1.0
+            + tech.sense_amp_cells_per_bitline / tile.rows
+            + tech.wl_driver_cells_per_wordline / tile.cols
+            + tech.tile_fixed_overhead_cells / tile.cells)
+
+
+def array_area_mm2(capacity_bits, tile, tech=TECH_22NM):
+    """Die area (mm^2) of a cell array of ``capacity_bits`` built from
+    ``tile``-sized tiles, including tile-level peripherals.
+
+    Bank- and die-level fixed overheads are added separately by
+    :class:`repro.dram.die.DieOrganization`.
+    """
+    if capacity_bits < 0:
+        raise ValueError("capacity_bits must be non-negative")
+    cell_um2 = tech.cell_area_um2 * area_overhead_factor(tile, tech)
+    return capacity_bits * cell_um2 / 1e6
+
+
+def area_efficiency(tile, tech=TECH_22NM):
+    """Fraction of array area occupied by DRAM cells (ignores bank/die
+    fixed overheads).  Commodity designs maximize this; latency-optimized
+    designs sacrifice it (Table I)."""
+    return 1.0 / area_overhead_factor(tile, tech)

@@ -1,0 +1,80 @@
+"""DRAM array access-time model.
+
+An access decodes a row address, drives the global wordline across the
+bank, activates a local wordline inside one tile, senses the bitlines of
+the target subarray, and muxes the column out:
+
+``t = fixed + t_decoder + t_gwl + t_local_wordline + t_bitline``
+
+The local wordline and bitline are unbuffered distributed-RC lines, so
+their delay grows quadratically with the number of cells they span
+(tile cols / tile rows).  The global wordline is buffered per tile and
+scales linearly with page width; the decoder scales with the number of
+row-address bits.
+"""
+
+import math
+
+from repro.dram.technology import TECH_22NM
+from repro.dram.tile import Tile
+
+
+def bitline_delay_ns(tile, tech=TECH_22NM):
+    """Sensing delay of a bitline spanning ``tile.rows`` cells."""
+    return tech.k_bitline_ns_per_cell2 * tile.rows ** 2
+
+
+def wordline_delay_ns(tile, tech=TECH_22NM):
+    """Drive delay of a local wordline spanning ``tile.cols`` cells."""
+    return tech.k_wordline_ns_per_cell2 * tile.cols ** 2
+
+
+def global_wordline_delay_ns(page_bits, tech=TECH_22NM):
+    """Buffered global wordline delay across a page of ``page_bits``."""
+    if page_bits <= 0:
+        raise ValueError("page_bits must be positive")
+    return tech.k_gwl_ns_per_bit * page_bits
+
+
+def decoder_delay_ns(rows_per_bank, tech=TECH_22NM):
+    """Row decoder delay for a bank of ``rows_per_bank`` rows."""
+    if rows_per_bank < 1:
+        raise ValueError("rows_per_bank must be >= 1")
+    address_bits = max(1.0, math.log2(rows_per_bank))
+    return tech.k_decoder_ns_per_bit * address_bits
+
+
+def access_time_ns(tile, page_bits, rows_per_bank, tech=TECH_22NM,
+                   stacked=False):
+    """End-to-end random access time of a DRAM array in nanoseconds.
+
+    Parameters
+    ----------
+    tile:
+        Tile geometry (determines bitline/wordline delay).
+    page_bits:
+        Page (row) width of the bank in bits -- global wordline span.
+    rows_per_bank:
+        Number of rows per bank -- decoder depth.
+    stacked:
+        If True, add the TSV crossing delay of a 3D stack.
+    """
+    t = (tech.fixed_access_ns
+         + decoder_delay_ns(rows_per_bank, tech)
+         + global_wordline_delay_ns(page_bits, tech)
+         + wordline_delay_ns(tile, tech)
+         + bitline_delay_ns(tile, tech))
+    if stacked:
+        t += tech.tsv_delay_ns
+    return t
+
+
+def commodity_reference_access_ns(tech=TECH_22NM):
+    """Access time of the commodity reference organization (1 Gb die,
+    8 banks, 8 KB page, 1024x1024 tiles) used to normalize Fig. 7."""
+    from repro.dram import technology as T
+    page_bits = T.COMMODITY_PAGE_BYTES * 8
+    die_bits = int(T.COMMODITY_DIE_GBIT * 2 ** 30)
+    rows_per_bank = die_bits // T.COMMODITY_BANKS // page_bits
+    tile = Tile(T.COMMODITY_TILE_DIM, T.COMMODITY_TILE_DIM)
+    return access_time_ns(tile, page_bits, rows_per_bank, tech)

@@ -1,0 +1,5 @@
+"""Memory-subsystem energy accounting (Table III, Fig. 13)."""
+
+from repro.energy.model import EnergyModel, EnergyBreakdown
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]

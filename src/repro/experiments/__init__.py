@@ -1,0 +1,54 @@
+"""Experiment harness: one function per paper figure/table.
+
+Every experiment returns plain data (lists of dicts) and has a text
+renderer; ``python -m repro.experiments <id>`` runs one from the
+command line.  See DESIGN.md for the experiment index.
+"""
+
+from repro.experiments.common import (resolve_plan, geomean, render_table)
+from repro.experiments.sensitivity import fig1_capacity, fig2_latency
+from repro.experiments.sharing import fig3_breakdown, fig4_rw_latency
+from repro.experiments.technology import (fig7_tile_sweep, fig8_vault_space,
+                                          table1_design_points)
+from repro.experiments.performance import (fig10_scaleout,
+                                           fig11_hit_breakdown,
+                                           fig14_enterprise,
+                                           fig16_three_level)
+from repro.experiments.optimizations import (
+    fig12_optimizations, fig12x_realistic_optimizations)
+from repro.experiments.energy import fig13_energy
+from repro.experiments.mixes import fig15_spec_mixes
+from repro.experiments.isolation import table6_isolation
+from repro.experiments.validation import (validate_hit_rates,
+                                          validate_technology_link,
+                                          characterize_workloads)
+from repro.experiments.noc_traffic import (noc_traffic,
+                                           offchip_traffic,
+                                           dnuca_comparison)
+
+EXPERIMENTS = {
+    "fig1": fig1_capacity,
+    "fig2": fig2_latency,
+    "fig3": fig3_breakdown,
+    "fig4": fig4_rw_latency,
+    "fig7": fig7_tile_sweep,
+    "fig8": fig8_vault_space,
+    "table1": table1_design_points,
+    "fig10": fig10_scaleout,
+    "fig11": fig11_hit_breakdown,
+    "fig12": fig12_optimizations,
+    "fig12x": fig12x_realistic_optimizations,
+    "fig13": fig13_energy,
+    "fig14": fig14_enterprise,
+    "fig15": fig15_spec_mixes,
+    "fig16": fig16_three_level,
+    "table6": table6_isolation,
+    "validate": validate_hit_rates,
+    "validate_tech": validate_technology_link,
+    "noc_traffic": noc_traffic,
+    "offchip_traffic": offchip_traffic,
+    "dnuca": dnuca_comparison,
+    "characterize": characterize_workloads,
+}
+
+__all__ = ["EXPERIMENTS", "resolve_plan", "geomean", "render_table"]

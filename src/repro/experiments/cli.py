@@ -1,0 +1,76 @@
+"""Command-line entry point: run any paper experiment.
+
+Usage::
+
+    python -m repro.experiments fig10
+    python -m repro.experiments fig1 --sampling quick --scale 128
+    silo-repro table6
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import render_table
+from repro.sim.sampling import PRESETS
+
+
+def main(argv=None):
+    """Parse arguments, run the requested experiment, print its table
+    (and optional chart/JSON); returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="silo-repro",
+        description="Reproduce a figure/table from the SILO paper "
+                    "(MICRO'18).")
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                        help="experiment id (see DESIGN.md)")
+    parser.add_argument("--sampling", choices=sorted(PRESETS),
+                        default=None,
+                        help="sampling plan (default: $REPRO_SAMPLING or "
+                             "'standard')")
+    parser.add_argument("--scale", type=int, default=64,
+                        help="capacity/footprint scale divisor "
+                             "(default 64)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--chart", action="store_true",
+                        help="render an ASCII chart after the table "
+                             "(where the experiment has one)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit rows as JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    func = EXPERIMENTS[args.experiment]
+    kwargs = {}
+    no_sim = ("fig7", "fig8", "table1", "validate_tech")
+    if args.experiment == "characterize":
+        kwargs = {"scale": args.scale}
+    elif args.experiment not in no_sim:
+        kwargs = {"scale": args.scale, "seed": args.seed}
+        if args.sampling is not None:
+            kwargs["plan"] = PRESETS[args.sampling]
+
+    start = time.time()
+    rows = func(**kwargs)
+    elapsed = time.time() - start
+    if args.json:
+        import json
+        print(json.dumps(rows, indent=2, default=str))
+        return 0
+    shown = rows
+    if args.experiment == "fig8":
+        # the scatter is large; show the frontier and selected points
+        shown = [r for r in rows if r["pareto"] or r["selected"]]
+    print(render_table(shown, title="%s (%.1fs)" % (args.experiment,
+                                                    elapsed)))
+    if args.chart:
+        from repro.experiments.plots import chart_for
+        chart = chart_for(args.experiment, rows)
+        if chart:
+            print()
+            print(chart)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

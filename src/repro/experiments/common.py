@@ -1,0 +1,52 @@
+"""Shared experiment plumbing: sampling plans, statistics helpers and a
+plain-text table renderer."""
+
+import math
+
+from repro.sim.sampling import SamplingPlan, from_env
+
+DEFAULT_SCALE = 64
+DEFAULT_SEED = 7
+
+
+def resolve_plan(plan=None, default="standard"):
+    """Pick the sampling plan: explicit > $REPRO_SAMPLING > default."""
+    if plan is not None:
+        return plan
+    return from_env(default)
+
+
+def geomean(values):
+    """Geometric mean of positive values."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def render_table(rows, columns=None, title=None, floatfmt="%.3f"):
+    """Render a list of dicts as an aligned text table."""
+    if not rows:
+        return (title or "") + "\n(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(v):
+        if isinstance(v, float):
+            return floatfmt % v
+        return str(v)
+
+    table = [[fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in table))
+              for i, c in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in table:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

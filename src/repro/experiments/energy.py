@@ -1,0 +1,46 @@
+"""Fig. 13: memory-subsystem dynamic energy, Baseline vs SILO
+(Sec. VII-C), split into LLC and main-memory components and normalized
+to the baseline's total."""
+
+from repro.core.systems import system_config, SYSTEM_LABELS
+from repro.energy.model import EnergyModel
+from repro.params import NS_PER_CYCLE
+from repro.sim.driver import simulate
+from repro.workloads.scaleout import SCALEOUT_WORKLOADS, SCALEOUT_LABELS
+from repro.experiments.common import resolve_plan, DEFAULT_SCALE, DEFAULT_SEED
+
+
+def fig13_energy(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
+                 workloads=None):
+    """Fig. 13 rows: per workload and system, the LLC and main-memory
+    dynamic energy normalized to that workload's baseline total.  Also
+    reports SILO's average LLC power (Sec. VII-C bounds it at 2.5 W)."""
+    plan = resolve_plan(plan)
+    if workloads is None:
+        workloads = list(SCALEOUT_WORKLOADS)
+    model = EnergyModel()
+    rows = []
+    for wname in workloads:
+        spec = SCALEOUT_WORKLOADS[wname]
+        results = {}
+        for sname in ("baseline", "silo"):
+            results[sname] = simulate(system_config(sname, scale=scale),
+                                      spec, plan, seed=seed)
+        base_bd = model.breakdown(results["baseline"].system)
+        base_total = max(base_bd.total_dynamic_nj, 1e-12)
+        for sname, result in results.items():
+            bd = model.breakdown(result.system)
+            # Wall-clock of the measured window: the slowest core's
+            # cycle count at 2 GHz.
+            cycles = max(result.system.cores[c].cycles()
+                         for c in result.core_ids)
+            seconds = cycles * NS_PER_CYCLE * 1e-9
+            rows.append({
+                "workload": SCALEOUT_LABELS.get(wname, wname),
+                "system": SYSTEM_LABELS[sname],
+                "llc_dynamic": bd.llc_dynamic_nj / base_total,
+                "memory_dynamic": bd.memory_dynamic_nj / base_total,
+                "total_dynamic": bd.total_dynamic_nj / base_total,
+                "llc_power_w": bd.llc_power_w(seconds),
+            })
+    return rows

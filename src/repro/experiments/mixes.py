@@ -1,0 +1,60 @@
+"""Fig. 15: 4-core multi-programmed SPEC'06 mixes (Sec. VII-D2).
+
+Each Table V mix runs four SPEC apps on the 16-core machine (Table II),
+four active cores spread across the 4x4 mesh, under the baseline
+shared LLC and under SILO; performance is the aggregate IPC normalized
+to the baseline.
+"""
+
+from repro.core.systems import system_config
+from repro.sim.system import System
+from repro.sim.driver import run_system
+from repro.workloads.spec import SPEC_MIXES, SPEC_APPS
+from repro.workloads.colocation import generate_colocation_traces
+from repro.experiments.common import (resolve_plan, geomean, DEFAULT_SCALE,
+                                      DEFAULT_SEED)
+
+MACHINE_CORES = 16
+#: Active cores, spread over the 4x4 mesh.
+MIX_CORE_IDS = (0, 5, 10, 15)
+
+
+def _run_mix(sys_name, mix_apps, plan, scale, seed):
+    from repro.cores.perf_model import CoreParams
+
+    specs = [SPEC_APPS[a] for a in mix_apps]
+    config = system_config(sys_name, num_cores=MACHINE_CORES, scale=scale)
+    core_params = [CoreParams()] * MACHINE_CORES
+    for core, spec in zip(MIX_CORE_IDS, specs):
+        core_params[core] = spec.core
+    system = System(config, core_params)
+    traces, _layouts = generate_colocation_traces(
+        [(spec, [core]) for core, spec in zip(MIX_CORE_IDS, specs)],
+        events_per_core=plan.total_events, scale=scale, seed=seed)
+    return run_system(system, traces, plan.warmup_events,
+                      plan.measure_events)
+
+
+def fig15_spec_mixes(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
+                     mixes=None):
+    """Fig. 15: SILO performance on the ten 4-core SPEC'06 mixes,
+    normalized to the baseline."""
+    plan = resolve_plan(plan)
+    if mixes is None:
+        mixes = list(SPEC_MIXES)
+    rows = []
+    speedups = []
+    for mix in mixes:
+        apps = SPEC_MIXES[mix]
+        base = _run_mix("baseline", apps, plan, scale, seed).performance()
+        silo = _run_mix("silo", apps, plan, scale, seed).performance()
+        speedup = silo / base
+        speedups.append(speedup)
+        rows.append({
+            "mix": mix,
+            "apps": "-".join(apps),
+            "silo_speedup": speedup,
+        })
+    rows.append({"mix": "geomean", "apps": "",
+                 "silo_speedup": geomean(speedups)})
+    return rows

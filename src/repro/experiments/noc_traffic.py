@@ -1,0 +1,94 @@
+"""On-chip interconnect traffic: Baseline vs SILO (Sec. V-D).
+
+The paper argues that eliminating the shared LLC "reduces demands on
+the on-chip interconnect": SILO's local vault hits never enter the
+mesh, while every baseline LLC access crosses it.  This experiment
+measures mesh link traversals per kilo-instruction for both systems
+(the paper states the claim qualitatively; we quantify it)."""
+
+from repro.core.systems import system_config
+from repro.sim.driver import simulate
+from repro.workloads.scaleout import SCALEOUT_WORKLOADS, SCALEOUT_LABELS
+from repro.experiments.common import resolve_plan, DEFAULT_SCALE, DEFAULT_SEED
+
+
+def noc_traffic(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
+                workloads=None):
+    """Mesh link traversals per kilo-instruction, Baseline vs SILO."""
+    plan = resolve_plan(plan)
+    if workloads is None:
+        workloads = list(SCALEOUT_WORKLOADS)
+    rows = []
+    for wname in workloads:
+        spec = SCALEOUT_WORKLOADS[wname]
+        lpki = {}
+        for sname in ("baseline", "silo"):
+            result = simulate(system_config(sname, scale=scale), spec,
+                              plan, seed=seed)
+            instrs = result.instructions()
+            lpki[sname] = (1000.0 * result.system.mesh.link_traversals
+                           / max(1, instrs))
+        rows.append({
+            "workload": SCALEOUT_LABELS.get(wname, wname),
+            "baseline_links_per_ki": lpki["baseline"],
+            "silo_links_per_ki": lpki["silo"],
+            "reduction": 1.0 - lpki["silo"] / max(1e-12,
+                                                  lpki["baseline"]),
+        })
+    return rows
+
+
+def offchip_traffic(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
+                    workloads=None):
+    """Off-chip traffic in bytes per kilo-instruction (reads + writes),
+    Baseline vs SILO -- the bandwidth-side view behind Fig. 13's
+    energy result and the paper's Sec. VII-A bandwidth discussion."""
+    plan = resolve_plan(plan)
+    if workloads is None:
+        workloads = list(SCALEOUT_WORKLOADS)
+    rows = []
+    for wname in workloads:
+        spec = SCALEOUT_WORKLOADS[wname]
+        bpki = {}
+        for sname in ("baseline", "silo"):
+            result = simulate(system_config(sname, scale=scale), spec,
+                              plan, seed=seed)
+            instrs = result.instructions()
+            bpki[sname] = (64.0 * 1000.0 * result.system.memory.accesses
+                           / max(1, instrs))
+        rows.append({
+            "workload": SCALEOUT_LABELS.get(wname, wname),
+            "baseline_bytes_per_ki": bpki["baseline"],
+            "silo_bytes_per_ki": bpki["silo"],
+            "reduction": 1.0 - bpki["silo"] / max(1e-12,
+                                                  bpki["baseline"]),
+        })
+    return rows
+
+
+def dnuca_comparison(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
+                     workloads=None):
+    """Related-work comparison (Sec. VIII): Victim Replication [43] on
+    the shared LLC versus SILO.  The paper argues D-NUCA schemes are
+    fundamentally limited by the small capacity of nearby banks; here
+    VR's local-bank replicas buy a little locality while SILO's
+    hundreds of MB of private capacity buy much more."""
+    plan = resolve_plan(plan)
+    if workloads is None:
+        workloads = list(SCALEOUT_WORKLOADS)
+    rows = []
+    for wname in workloads:
+        spec = SCALEOUT_WORKLOADS[wname]
+        base = simulate(system_config("baseline", scale=scale), spec,
+                        plan, seed=seed).performance()
+        vr = simulate(system_config("baseline_vr", scale=scale), spec,
+                      plan, seed=seed)
+        silo = simulate(system_config("silo", scale=scale), spec, plan,
+                        seed=seed).performance()
+        rows.append({
+            "workload": SCALEOUT_LABELS.get(wname, wname),
+            "victim_replication": vr.performance() / base,
+            "silo": silo / base,
+            "replica_hits": vr.system.replica_hits,
+        })
+    return rows

@@ -1,0 +1,96 @@
+"""Main performance studies: Fig. 10 (scale-out), Fig. 11 (LLC hit
+breakdown), Fig. 14 (enterprise) and Fig. 16 (3-level hierarchies)."""
+
+from repro.core.config import EVALUATED_SYSTEMS, THREE_LEVEL_SYSTEMS
+from repro.core.systems import system_config, SYSTEM_LABELS
+from repro.sim.driver import simulate
+from repro.workloads.scaleout import SCALEOUT_WORKLOADS, SCALEOUT_LABELS
+from repro.workloads.enterprise import ENTERPRISE_WORKLOADS, ENTERPRISE_LABELS
+from repro.experiments.common import (resolve_plan, geomean, DEFAULT_SCALE,
+                                      DEFAULT_SEED)
+
+
+def _suite_performance(systems, workload_map, labels, plan, scale, seed,
+                       baseline="baseline"):
+    """Run ``systems`` x ``workloads``; returns rows normalized to the
+    baseline system plus a geomean row per system."""
+    rows = []
+    ratios = {s: [] for s in systems if s != baseline}
+    for wname, spec in workload_map.items():
+        base = simulate(system_config(baseline, scale=scale), spec, plan,
+                        seed=seed).performance()
+        rows.append({"workload": labels.get(wname, wname),
+                     "system": SYSTEM_LABELS[baseline],
+                     "normalized_performance": 1.0})
+        for sname in systems:
+            if sname == baseline:
+                continue
+            perf = simulate(system_config(sname, scale=scale), spec, plan,
+                            seed=seed).performance()
+            ratio = perf / base
+            ratios[sname].append(ratio)
+            rows.append({"workload": labels.get(wname, wname),
+                         "system": SYSTEM_LABELS[sname],
+                         "normalized_performance": ratio})
+    for sname, vals in ratios.items():
+        rows.append({"workload": "Geomean", "system": SYSTEM_LABELS[sname],
+                     "normalized_performance": geomean(vals)})
+    return rows
+
+
+def fig10_scaleout(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
+                   systems=EVALUATED_SYSTEMS, workloads=None):
+    """Fig. 10: normalized performance of the five evaluated systems on
+    the scale-out suite."""
+    plan = resolve_plan(plan)
+    wmap = SCALEOUT_WORKLOADS
+    if workloads is not None:
+        wmap = {w: SCALEOUT_WORKLOADS[w] for w in workloads}
+    return _suite_performance(systems, wmap, SCALEOUT_LABELS, plan, scale,
+                              seed)
+
+
+def fig11_hit_breakdown(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
+                        workloads=None):
+    """Fig. 11: LLC accesses broken into local hits, remote hits and
+    off-chip misses, Baseline vs SILO (baseline's hits all count as
+    local, as in the paper)."""
+    plan = resolve_plan(plan)
+    if workloads is None:
+        workloads = list(SCALEOUT_WORKLOADS)
+    rows = []
+    for wname in workloads:
+        spec = SCALEOUT_WORKLOADS[wname]
+        for sname in ("baseline", "silo"):
+            result = simulate(system_config(sname, scale=scale), spec,
+                              plan, seed=seed)
+            local, remote, miss = result.llc_breakdown()
+            total = max(1, local + remote + miss)
+            rows.append({
+                "workload": SCALEOUT_LABELS.get(wname, wname),
+                "system": SYSTEM_LABELS[sname],
+                "local_hits": local / total,
+                "remote_hits": remote / total,
+                "offchip_misses": miss / total,
+            })
+    return rows
+
+
+def fig14_enterprise(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
+                     systems=EVALUATED_SYSTEMS):
+    """Fig. 14: normalized performance on enterprise workloads."""
+    plan = resolve_plan(plan)
+    return _suite_performance(systems, ENTERPRISE_WORKLOADS,
+                              ENTERPRISE_LABELS, plan, scale, seed)
+
+
+def fig16_three_level(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
+                      systems=THREE_LEVEL_SYSTEMS, workloads=None):
+    """Fig. 16: 3-level hierarchies (3level-SRAM / eDRAM / SILO) on the
+    scale-out suite, normalized to 3level-SRAM."""
+    plan = resolve_plan(plan)
+    wmap = SCALEOUT_WORKLOADS
+    if workloads is not None:
+        wmap = {w: SCALEOUT_WORKLOADS[w] for w in workloads}
+    return _suite_performance(systems, wmap, SCALEOUT_LABELS, plan, scale,
+                              seed, baseline="3level_sram")

@@ -1,0 +1,139 @@
+"""Plain-text chart rendering for experiment results.
+
+Terminal-friendly stand-ins for the paper's figures: horizontal bar
+charts for the normalized-performance figures and multi-series line
+charts for the sensitivity sweeps.  Pure string formatting -- no
+plotting dependencies.
+"""
+
+BAR_WIDTH = 40
+CHART_WIDTH = 60
+CHART_HEIGHT = 16
+
+
+def bar_chart(rows, label_keys, value_key, title=None, width=BAR_WIDTH,
+              baseline=None):
+    """Horizontal bar chart.
+
+    ``label_keys`` name the columns concatenated into each bar's label;
+    ``value_key`` selects the plotted value.  ``baseline`` draws a
+    reference marker at that value (e.g. 1.0 for normalized charts).
+    """
+    if not rows:
+        return (title or "") + "\n(empty)"
+    values = [float(r[value_key]) for r in rows]
+    labels = [" ".join(str(r[k]) for k in label_keys) for r in rows]
+    vmax = max(values + ([baseline] if baseline else []))
+    if vmax <= 0:
+        vmax = 1.0
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        n = int(round(width * v / vmax))
+        cells = ["#"] * n + [" "] * (width - n)
+        if baseline is not None:
+            mark = min(width - 1, int(round(width * baseline / vmax)))
+            if cells[mark] == " ":
+                cells[mark] = "|"
+        lines.append("%s  %s %.3f"
+                     % (label.ljust(label_w), "".join(cells).rstrip()
+                        or "", v))
+    return "\n".join(lines)
+
+
+def line_chart(series, title=None, width=CHART_WIDTH,
+               height=CHART_HEIGHT, x_label="", y_label=""):
+    """Multi-series ASCII line chart.
+
+    ``series`` maps a series name to a list of (x, y) points.  Each
+    series is drawn with its own glyph; axes are annotated with the
+    data ranges.
+    """
+    if not series or all(not pts for pts in series.values()):
+        return (title or "") + "\n(empty)"
+    glyphs = "*o+x@%&="
+    all_pts = [p for pts in series.values() for p in pts]
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1
+    if ymax == ymin:
+        ymax = ymin + 1e-9
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x, y, ch):
+        col = int(round((x - xmin) / (xmax - xmin) * (width - 1)))
+        row = int(round((y - ymin) / (ymax - ymin) * (height - 1)))
+        grid[height - 1 - row][col] = ch
+
+    legend = []
+    for i, (name, pts) in enumerate(series.items()):
+        ch = glyphs[i % len(glyphs)]
+        legend.append("%s %s" % (ch, name))
+        for x, y in pts:
+            place(x, y, ch)
+
+    lines = [title] if title else []
+    lines.append("%.3f +%s" % (ymax, "-" * width))
+    for row in grid:
+        lines.append("      |%s" % "".join(row))
+    lines.append("%.3f +%s" % (ymin, "-" * width))
+    lines.append("       %-12s%s%12s"
+                 % (("%g" % xmin), " " * max(0, width - 24),
+                    ("%g" % xmax)))
+    if x_label or y_label:
+        lines.append("       x: %s   y: %s" % (x_label, y_label))
+    lines.append("       " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def chart_for(experiment, rows):
+    """Best-effort chart for a known experiment's rows (None if the
+    experiment has no natural chart)."""
+    if not rows:
+        return None
+    if experiment == "fig1":
+        series = {}
+        for r in rows:
+            series.setdefault(r["workload"], []).append(
+                (r["capacity_mb"], r["normalized_performance"]))
+        return line_chart(series, title="Fig. 1: perf vs LLC capacity "
+                          "(MB, normalized to 8MB)",
+                          x_label="capacity MB", y_label="norm. perf")
+    if experiment == "fig2":
+        series = {}
+        for r in rows:
+            series.setdefault("%dMB" % r["capacity_mb"], []).append(
+                (r["latency_increase_pct"], r["normalized_performance"]))
+        return line_chart(series, title="Fig. 2: perf vs LLC latency "
+                          "increase", x_label="+latency %",
+                          y_label="norm. perf")
+    if experiment == "fig8":
+        pts = [(r["capacity_mb"], r["latency_ns"]) for r in rows
+               if r.get("pareto") or r.get("selected")]
+        return line_chart({"frontier": pts},
+                          title="Fig. 8: vault capacity vs latency",
+                          x_label="capacity MB", y_label="ns")
+    if experiment in ("fig10", "fig14", "fig16"):
+        return bar_chart(rows, ("workload", "system"),
+                         "normalized_performance",
+                         title="normalized performance", baseline=1.0)
+    if experiment == "fig15":
+        return bar_chart(rows, ("mix",), "silo_speedup",
+                         title="SILO speedup per mix", baseline=1.0)
+    if experiment in ("fig12", "fig12x"):
+        return bar_chart(rows, ("workload", "variant"),
+                         "normalized_performance",
+                         title="normalized performance", baseline=1.0)
+    if experiment == "fig4":
+        series = {}
+        for r in rows:
+            series.setdefault(r["workload"], []).append(
+                (r["rw_latency_multiplier"],
+                 r["normalized_performance"]))
+        return line_chart(series, title="Fig. 4: perf vs RW-shared "
+                          "latency multiplier", x_label="multiplier",
+                          y_label="norm. perf")
+    return None

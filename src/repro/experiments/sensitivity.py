@@ -1,0 +1,82 @@
+"""Motivation studies: LLC capacity and latency sensitivity (Sec. II).
+
+Fig. 1 sweeps the shared LLC capacity from 8 MB to 1 GB at the
+baseline's access latency ("for larger LLC capacities, the access
+latency is unchanged from the baseline design").  Fig. 2 re-evaluates
+each capacity under +0%..+100% LLC access latency; because the
+simulator records raw per-level latency sums, the latency sweep is
+closed-form over one simulation per capacity.
+"""
+
+from repro import params as P
+from repro.core.systems import baseline_config
+from repro.sim.driver import simulate
+from repro.workloads.scaleout import SCALEOUT_WORKLOADS, SCALEOUT_LABELS
+from repro.experiments.common import (resolve_plan, geomean, DEFAULT_SCALE,
+                                      DEFAULT_SEED)
+
+#: Fig. 1 x-axis.
+CAPACITIES_MB = (8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Fig. 2 capacities and latency-increase points.
+FIG2_CAPACITIES_MB = (64, 128, 256, 512, 1024)
+FIG2_LATENCY_INCREASES = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _capacity_run(workload, capacity_mb, plan, scale, seed):
+    config = baseline_config(
+        scale=scale, llc_size_bytes=capacity_mb * P.MB,
+        name="baseline_%dmb" % capacity_mb)
+    return simulate(config, workload, plan, seed=seed)
+
+
+def fig1_capacity(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
+                  workloads=None, capacities_mb=CAPACITIES_MB):
+    """Fig. 1: performance vs. LLC capacity at fixed latency, per
+    workload, normalized to the 8 MB baseline."""
+    plan = resolve_plan(plan)
+    if workloads is None:
+        workloads = list(SCALEOUT_WORKLOADS)
+    rows = []
+    for name in workloads:
+        spec = SCALEOUT_WORKLOADS[name]
+        base_perf = None
+        for cap in capacities_mb:
+            result = _capacity_run(spec, cap, plan, scale, seed)
+            perf = result.performance()
+            if base_perf is None:
+                base_perf = perf
+            rows.append({
+                "workload": SCALEOUT_LABELS.get(name, name),
+                "capacity_mb": cap,
+                "normalized_performance": perf / base_perf,
+            })
+    return rows
+
+
+def fig2_latency(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
+                 capacities_mb=FIG2_CAPACITIES_MB,
+                 increases=FIG2_LATENCY_INCREASES):
+    """Fig. 2: geomean (over scale-out workloads) performance vs. LLC
+    latency increase, one isocurve per capacity, normalized to the 8 MB
+    baseline at +0%."""
+    plan = resolve_plan(plan)
+    workloads = list(SCALEOUT_WORKLOADS)
+    # One 8 MB run per workload for the normalization denominator.
+    base = {name: _capacity_run(SCALEOUT_WORKLOADS[name], 8, plan, scale,
+                                seed).performance()
+            for name in workloads}
+    rows = []
+    for cap in capacities_mb:
+        results = {name: _capacity_run(SCALEOUT_WORKLOADS[name], cap, plan,
+                                       scale, seed)
+                   for name in workloads}
+        for inc in increases:
+            ratios = [results[n].performance_with_llc_scale(1.0 + inc)
+                      / base[n] for n in workloads]
+            rows.append({
+                "capacity_mb": cap,
+                "latency_increase_pct": int(inc * 100),
+                "normalized_performance": geomean(ratios),
+            })
+    return rows

@@ -1,0 +1,7 @@
+"""Main memory model: fixed-latency DRAM behind banked closed-page
+memory controllers."""
+
+from repro.memory.main_memory import MainMemory
+from repro.memory.controller import ClosedPageController
+
+__all__ = ["MainMemory", "ClosedPageController"]

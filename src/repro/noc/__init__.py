@@ -1,0 +1,6 @@
+"""On-chip interconnect models: 2D mesh with XY routing (Table II)."""
+
+from repro.noc.mesh import Mesh2D
+from repro.noc.topology import xy_hops, mesh_side
+
+__all__ = ["Mesh2D", "xy_hops", "mesh_side"]

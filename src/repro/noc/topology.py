@@ -1,0 +1,29 @@
+"""Mesh topology helpers: node coordinates and XY (dimension-ordered)
+hop counts."""
+
+import math
+
+
+def mesh_side(num_nodes):
+    """Side length of the square mesh holding ``num_nodes`` tiles.
+
+    A 16-core CMP uses a 4x4 mesh (Table II); a 4-core setup a 2x2.
+    """
+    side = int(math.isqrt(num_nodes))
+    if side * side != num_nodes:
+        raise ValueError("num_nodes=%d is not a perfect square" % num_nodes)
+    return side
+
+
+def node_coords(node, side):
+    """(x, y) coordinates of ``node`` in row-major order."""
+    if not 0 <= node < side * side:
+        raise ValueError("node %d outside %dx%d mesh" % (node, side, side))
+    return node % side, node // side
+
+
+def xy_hops(src, dst, side):
+    """Manhattan hop count between two nodes under XY routing."""
+    sx, sy = node_coords(src, side)
+    dx, dy = node_coords(dst, side)
+    return abs(sx - dx) + abs(sy - dy)

@@ -1,0 +1,12 @@
+"""Trace-driven CMP simulation: system assembly, the access pipeline
+(L1 -> [L2] -> LLC -> directory -> memory) with full MESI/MOESI
+coherence, the run driver with SMARTS-style warmup/measure sampling,
+and statistics."""
+
+from repro.sim.config import HierarchyConfig
+from repro.sim.system import System
+from repro.sim.driver import RunResult, run_system, simulate
+from repro.sim.sampling import SamplingPlan
+
+__all__ = ["HierarchyConfig", "System", "RunResult", "run_system",
+           "simulate", "SamplingPlan"]

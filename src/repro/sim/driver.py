@@ -1,0 +1,182 @@
+"""Run driver: feeds per-core traces through a System and collects a
+:class:`RunResult`.
+
+Cores are interleaved in fixed-size chunks (coherence interactions
+between cores happen at chunk granularity, which is far finer than any
+reuse distance that matters here).  Each core keeps an approximate
+local clock -- base CPI plus its exposed stall cycles -- which also
+timestamps memory-controller bank occupancy.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cores.perf_model import (
+    NUM_LEVELS, LEVEL_LLC_LOCAL, LEVEL_LLC_REMOTE, LEVEL_DRAM_CACHE,
+    LEVEL_MEMORY)
+from repro.sim.system import System
+
+DEFAULT_CHUNK = 200
+
+
+def _per_core_state(system, traces):
+    out = []
+    for tr in traces:
+        p = system.cores[tr.core_id].params
+        out.append((
+            tr.core_id, tr.blocks, tr.flags,
+            tr.instr_per_event * p.base_cpi,
+            1.0 / p.mlp, p.ifetch_stall_factor,
+        ))
+    return out
+
+
+def _drive(system, per_core, starts, ends, times, chunk):
+    """Interleave cores in ``chunk``-sized slices from per-core start to
+    per-core end positions (positions may differ when prewarm prefixes
+    have different lengths)."""
+    access = system.access
+    positions = list(starts)
+    remaining = sum(e - s for s, e in zip(starts, ends))
+    while remaining > 0:
+        for idx, (core, blocks, flags, cpi_ev, inv_mlp, iff) in \
+                enumerate(per_core):
+            pos = positions[idx]
+            hi = min(pos + chunk, ends[idx])
+            if pos >= hi:
+                continue
+            t = times[core]
+            for i in range(pos, hi):
+                fl = flags[i]
+                lat = access(core, blocks[i], fl & 1, fl & 2, t)
+                t += cpi_ev
+                if lat:
+                    t += lat * iff if fl & 2 else lat * inv_mlp
+            times[core] = t
+            remaining -= hi - pos
+            positions[idx] = hi
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulation run.
+
+    ``performance`` is the paper's metric: aggregate application
+    instructions per cycle (the sum of per-core IPCs).  The re-scaling
+    helpers re-evaluate performance under modified latencies without
+    re-simulating (used by Fig. 2 and Fig. 4).
+    """
+
+    system: System
+    measure_events: int
+    core_ids: List[int] = field(default_factory=list)
+
+    # -- performance -------------------------------------------------------
+
+    def per_core_ipc(self, level_scale=None, rw_shared_extra_factor=0.0):
+        """IPC of each driven core, optionally under re-scaled
+        latencies (see CoreModel.stall_cycles)."""
+        return [self.system.cores[c].ipc(level_scale,
+                                         rw_shared_extra_factor)
+                for c in self.core_ids]
+
+    def performance(self, level_scale=None, rw_shared_extra_factor=0.0):
+        """Aggregate application instructions per cycle: the sum of
+        per-core IPCs (the paper's throughput metric, Sec. VI-C)."""
+        return sum(self.per_core_ipc(level_scale, rw_shared_extra_factor))
+
+    def performance_with_llc_scale(self, factor):
+        """Performance with every LLC access (local and remote) taking
+        ``factor`` times its measured latency (Fig. 2 sweeps)."""
+        scale = [1.0] * NUM_LEVELS
+        scale[LEVEL_LLC_LOCAL] = factor
+        scale[LEVEL_LLC_REMOTE] = factor
+        return self.performance(level_scale=scale)
+
+    def performance_with_rw_multiplier(self, multiplier):
+        """Performance with RW-shared block accesses taking
+        ``multiplier`` times their latency (Fig. 4)."""
+        return self.performance(rw_shared_extra_factor=multiplier - 1.0)
+
+    # -- memory system statistics ------------------------------------------
+
+    def _sum_counts(self, attr):
+        totals = [0] * NUM_LEVELS
+        for c in self.core_ids:
+            counts = getattr(self.system.cores[c], attr)
+            for lvl in range(NUM_LEVELS):
+                totals[lvl] += counts[lvl]
+        return totals
+
+    def level_counts(self):
+        """Accesses satisfied at each level (ifetch + data)."""
+        d = self._sum_counts("data_count")
+        i = self._sum_counts("ifetch_count")
+        return [d[lvl] + i[lvl] for lvl in range(NUM_LEVELS)]
+
+    def instructions(self):
+        """Instructions retired across the driven cores."""
+        return sum(self.system.cores[c].instructions for c in self.core_ids)
+
+    def llc_breakdown(self):
+        """Fig. 11: (local hits, remote hits, off-chip misses) among
+        accesses that reached the LLC level."""
+        counts = self.level_counts()
+        local = counts[LEVEL_LLC_LOCAL]
+        remote = counts[LEVEL_LLC_REMOTE]
+        miss = counts[LEVEL_DRAM_CACHE] + counts[LEVEL_MEMORY]
+        return local, remote, miss
+
+    def llc_mpki(self):
+        """Off-chip misses per kilo-instruction."""
+        instrs = self.instructions()
+        if instrs == 0:
+            return 0.0
+        _, _, miss = self.llc_breakdown()
+        return 1000.0 * miss / instrs
+
+
+def run_system(system, traces, warmup_events, measure_events,
+               chunk=DEFAULT_CHUNK):
+    """Warm up (prewarm prefix + ``warmup_events``), reset statistics,
+    measure ``measure_events`` per core; returns a RunResult."""
+    warm_ends = []
+    for tr in traces:
+        end = tr.prewarm_events + warmup_events
+        if len(tr) < end + measure_events:
+            raise ValueError("trace for core %d has %d events, need %d"
+                             % (tr.core_id, len(tr),
+                                end + measure_events))
+        warm_ends.append(end)
+    times = [0.0] * system.num_cores
+    per_core = _per_core_state(system, traces)
+    system.measuring = False
+    _drive(system, per_core, [0] * len(traces), warm_ends, times, chunk)
+    system.reset_stats()
+    system.measuring = True
+    _drive(system, per_core, warm_ends,
+           [e + measure_events for e in warm_ends], times, chunk)
+    for tr in traces:
+        system.cores[tr.core_id].retire(
+            int(measure_events * tr.instr_per_event))
+    return RunResult(system=system, measure_events=measure_events,
+                     core_ids=[tr.core_id for tr in traces])
+
+
+def simulate(config, spec, plan, core_params=None, seed=0,
+             track_sharing=False, chunk=DEFAULT_CHUNK):
+    """Convenience wrapper: build the system, generate traces for a
+    homogeneous workload, run, and return the RunResult."""
+    from repro.workloads.generator import generate_traces
+
+    n = config.num_cores
+    if core_params is None:
+        core_params = [spec.core] * n
+    system = System(config, core_params)
+    system.track_sharing = track_sharing
+    traces, layout = generate_traces(
+        spec, num_cores=n, events_per_core=plan.total_events,
+        scale=config.scale, seed=seed)
+    system.rw_shared_range = layout.rw_shared_range
+    return run_system(system, traces, plan.warmup_events,
+                      plan.measure_events, chunk)

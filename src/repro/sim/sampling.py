@@ -1,0 +1,51 @@
+"""SMARTS-style sampling plans (Sec. VI-C).
+
+The paper warms architectural state, runs to steady state, then
+measures a window.  Our trace-driven analogue: drive ``warmup_events``
+references per core with statistics off (caches and coherence state
+warm up), then measure ``measure_events`` per core.
+
+The default plan is chosen so that the largest scaled structures (a
+256 MB/64 = 4 MB direct-mapped vault per core and the scanned secondary
+working sets) reach steady state.  ``from_env`` lets test/bench runs
+pick lighter or heavier plans via ``REPRO_SAMPLING``.
+"""
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """Events per core for the warmup and measurement windows."""
+
+    warmup_events: int = 60_000
+    measure_events: int = 20_000
+
+    def __post_init__(self):
+        if self.warmup_events < 0 or self.measure_events <= 0:
+            raise ValueError("invalid sampling plan")
+
+    @property
+    def total_events(self):
+        return self.warmup_events + self.measure_events
+
+
+#: Named presets: quick for unit tests, standard for benchmarks, full
+#: for high-fidelity runs.
+PRESETS = {
+    "quick": SamplingPlan(25_000, 12_000),
+    "standard": SamplingPlan(60_000, 20_000),
+    "full": SamplingPlan(150_000, 50_000),
+}
+
+
+def from_env(default="standard"):
+    """Select a sampling plan from $REPRO_SAMPLING (falling back to
+    ``default``)."""
+    name = os.environ.get("REPRO_SAMPLING", default)
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError("REPRO_SAMPLING=%r; choose from %s"
+                         % (name, sorted(PRESETS)))

@@ -1,0 +1,683 @@
+"""The simulated CMP: cores, caches, coherence, NOC and memory.
+
+``System.access`` is the whole machine's reaction to one memory
+reference: it walks the private hierarchy, the LLC (shared NUCA or the
+core's private DRAM vault), the coherence directory and main memory,
+updating cache and coherence state and returning the exposed latency in
+cycles.  Two organizations are implemented:
+
+* **shared** -- the baseline's non-inclusive MESI with a sharer-table
+  directory and an S-NUCA LLC (optionally backed by a conventional
+  page-based DRAM cache), also used for Vaults-Sh and the 3-level
+  SRAM/eDRAM designs;
+* **private_vault** -- SILO: per-core direct-mapped inclusive DRAM
+  vaults kept coherent by MOESI with the duplicate-tag directory whose
+  metadata lives in the vaults (a directory lookup costs a DRAM access
+  at the block's home node unless the directory-cache optimization is
+  on).
+"""
+
+from repro import params as P
+from repro.caches.sram_cache import SetAssocCache
+from repro.caches.vault_cache import VaultCache
+from repro.caches.nuca import SharedNUCA
+from repro.caches.dram_cache import PageDRAMCache
+from repro.coherence.states import (
+    SHARED, EXCLUSIVE, OWNED, MODIFIED, is_dirty)
+from repro.coherence.sharer_table import SharerTable
+from repro.coherence.dup_tag_directory import DupTagDirectory
+from repro.cores.perf_model import (
+    CoreModel, LEVEL_L1, LEVEL_L2, LEVEL_LLC_LOCAL, LEVEL_LLC_REMOTE,
+    LEVEL_DRAM_CACHE, LEVEL_MEMORY)
+from repro.memory.main_memory import MainMemory
+from repro.noc.mesh import Mesh2D
+from repro.sim.config import LLC_SHARED, LLC_PRIVATE_VAULT
+
+
+class System:
+    """One simulated machine (see module docstring)."""
+
+    def __init__(self, config, core_params):
+        """``core_params`` is a list of CoreParams, one per core (they
+        may differ under colocation)."""
+        if len(core_params) != config.num_cores:
+            raise ValueError("need CoreParams for each of %d cores"
+                             % config.num_cores)
+        self.config = config
+        n = config.num_cores
+        self.num_cores = n
+        self.cores = [CoreModel(c, core_params[c]) for c in range(n)]
+        self.mesh = Mesh2D(n, hop_latency=config.hop_latency)
+
+        l1_bytes = config.scaled(config.l1_size_bytes)
+        self.l1i = [SetAssocCache(l1_bytes, config.l1_ways)
+                    for _ in range(n)]
+        self.l1d = [SetAssocCache(l1_bytes, config.l1_ways)
+                    for _ in range(n)]
+        self.l1_latency = config.l1_latency
+
+        self.l2 = None
+        if config.l2_size_bytes:
+            l2_bytes = config.scaled(config.l2_size_bytes)
+            self.l2 = [SetAssocCache(l2_bytes, config.l2_ways)
+                       for _ in range(n)]
+        self.l2_latency = config.l2_latency
+
+        self.kind = config.llc_kind
+        self.llc_latency = config.llc_latency
+        if self.kind == LLC_SHARED:
+            llc_bytes = config.scaled(config.llc_size_bytes)
+            self.llc = SharedNUCA(llc_bytes, config.llc_ways,
+                                  num_banks=n,
+                                  bank_latency=config.llc_latency)
+            self.sharer_table = SharerTable(n)
+            self.vaults = None
+            self.directory = None
+        else:
+            vault_bytes = config.scaled(config.llc_size_bytes)
+            self.vaults = [VaultCache(vault_bytes) for _ in range(n)]
+            self.directory = DupTagDirectory(self.vaults)
+            self.llc = None
+            self.sharer_table = None
+
+        self.dram_cache = None
+        self.dram_cache_ctrl = None
+        if config.dram_cache_bytes:
+            self.dram_cache = PageDRAMCache(
+                config.scaled(config.dram_cache_bytes))
+            # The conventional DRAM cache is built from commodity DRAM:
+            # its banks occupy like main memory's (the paper's
+            # infinite-bandwidth assumption is optimistic; its own
+            # result -- near-zero gain on scale-out -- matches a
+            # bandwidth-constrained cache).
+            from repro.memory.controller import ClosedPageController
+            self.dram_cache_ctrl = [
+                ClosedPageController(8, config.dram_cache_latency // 2)
+                for _ in range(8)]
+        self.dram_cache_latency = config.dram_cache_latency
+
+        self.memory = MainMemory(latency=config.memory_latency,
+                                 model_queueing=config.memory_queueing)
+        self.local_mp = config.local_miss_predictor
+        if self.local_mp is True:
+            self.local_mp = "ideal"
+        self.dir_cache = config.directory_cache
+        if self.dir_cache is True:
+            self.dir_cache = "ideal"
+        self.missmaps = None
+        if self.local_mp == "missmap":
+            from repro.caches.missmap import default_missmap_for
+            self.missmaps = [default_missmap_for(v.num_sets)
+                             for v in (self.vaults or [])]
+        self.sram_dir_cache = None
+        if self.dir_cache == "sram":
+            from repro.coherence.directory_cache import DirectoryCache
+            self.sram_dir_cache = DirectoryCache(n)
+        self.moesi = config.protocol == "moesi"
+        self.victim_replication = config.victim_replication
+        self.replica_hits = 0
+        self.prefetchers = None
+        if config.l1_prefetcher:
+            from repro.caches.prefetcher import StridePrefetcher
+            self.prefetchers = [StridePrefetcher() for _ in range(n)]
+        self.prefetch_fills = 0
+        # A directory lookup reads a metadata set, not a 64 B TAD: it
+        # pays the DRAM array + controller delay but not the data
+        # serialization cycles.
+        self.dir_latency = max(
+            1, config.llc_latency - P.SILO_SERIALIZATION_LATENCY)
+
+        # Ground truth range of the RW-shared region (Fig. 4 accounting)
+        self.rw_shared_range = (0, 0)
+        self.measuring = True
+
+        # System-level counters
+        self.llc_accesses = 0          # SRAM bank / DRAM vault accesses
+        self.dram_cache_accesses = 0
+        self.invalidations = 0
+        self.l1_writebacks = 0
+        self.llc_writebacks = 0        # dirty evictions leaving the LLC
+        self.vault_evictions = 0
+        self.directory_lookups = 0
+        self.remote_forwards = 0
+
+        # Optional LLC-access sharing classification (Fig. 3)
+        self.track_sharing = False
+        self.block_readers = {}
+        self.block_writers = {}
+        self.llc_reads = 0
+        self.llc_demand_writes = 0
+        self.llc_writes_by_block = {}
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+
+    def access(self, core, block, is_write, is_ifetch, now=0.0):
+        """Process one reference; returns exposed latency in cycles
+        beyond the L1 (an L1 hit returns 0)."""
+        self.now = now
+        if is_ifetch:
+            l1 = self.l1i[core]
+            if l1.lookup(block) is not None:
+                if self.measuring:
+                    c = self.cores[core]
+                    c.ifetch_count[LEVEL_L1] += 1
+                return 0
+            if self.kind == LLC_SHARED:
+                lat, level = self._miss_shared(core, block, False, False,
+                                               now)
+            else:
+                lat, level = self._miss_private(core, block, False, False,
+                                                now)
+            l1.insert(block, SHARED)  # code is read-only: no victim care
+            if self.measuring:
+                self.cores[core].record_ifetch(level, lat)
+            return lat
+
+        l1 = self.l1d[core]
+        st = l1.lookup(block)
+        if st is not None:
+            if is_write and st != MODIFIED:
+                self._write_upgrade(core, block, st)
+            if self.measuring:
+                c = self.cores[core]
+                c.data_count[LEVEL_L1] += 1
+            if self.prefetchers is not None:
+                self._maybe_prefetch(core, block)
+            return 0
+
+        if self.kind == LLC_SHARED:
+            lat, level = self._miss_shared(core, block, is_write, True,
+                                           now)
+        else:
+            lat, level = self._miss_private(core, block, is_write, True,
+                                            now)
+        if self.measuring:
+            lo, hi = self.rw_shared_range
+            self.cores[core].record_data(level, lat,
+                                         rw_shared=lo <= block < hi)
+        if self.prefetchers is not None:
+            self._maybe_prefetch(core, block)
+        return lat
+
+    def _maybe_prefetch(self, core, block):
+        """Issue a non-blocking stride prefetch into the L1-D: the
+        predicted block is fetched through the normal hierarchy (cache
+        state and energy are updated) but no stall is charged."""
+        candidate = self.prefetchers[core].observe(block)
+        if candidate is None or self.l1d[core].contains(candidate):
+            return
+        measuring = self.measuring
+        self.measuring = False
+        try:
+            if self.kind == LLC_SHARED:
+                self._miss_shared(core, candidate, False, True, self.now)
+            else:
+                self._miss_private(core, candidate, False, True, self.now)
+        finally:
+            self.measuring = measuring
+        self.prefetch_fills += 1
+
+    # ------------------------------------------------------------------
+    # write upgrades (store hits on non-M lines)
+    # ------------------------------------------------------------------
+
+    def _write_upgrade(self, core, block, l1_state):
+        """A store hit an L1 line in S/E/O: gain write permission.
+        State changes happen; the store latency itself is hidden by the
+        store buffer (no stall charged)."""
+        if self.kind == LLC_SHARED:
+            if l1_state != EXCLUSIVE:
+                self._invalidate_peer_l1s(core, block)
+            self.l1d[core].update(block, MODIFIED)
+            self.sharer_table.add_sharer(block, core, exclusive=True)
+        else:
+            if l1_state != EXCLUSIVE:
+                self._invalidate_peer_vaults(core, block)
+            self.l1d[core].update(block, MODIFIED)
+            vault = self.vaults[core]
+            if vault.contains(block):
+                vault.update(block, MODIFIED)
+            if self.l2 is not None and self.l2[core].contains(block):
+                self.l2[core].update(block, MODIFIED)
+
+    def _invalidate_replicas(self, block):
+        """Victim replication: drop every replica of a written block
+        (the home-bank copy is the authoritative one)."""
+        home = self.llc.bank_of(block)
+        for b, bank in enumerate(self.llc.banks):
+            if b != home:
+                bank.invalidate(block)
+
+    def _invalidate_peer_l1s(self, core, block):
+        """Shared org: invalidate every other core's L1 copy.  Under
+        victim replication, stale bank replicas die with them."""
+        if self.victim_replication:
+            self._invalidate_replicas(block)
+        table = self.sharer_table
+        mask = table.sharers(block) & ~(1 << core)
+        if not mask:
+            return
+        for s in range(self.num_cores):
+            if mask & (1 << s):
+                st = self.l1d[s].invalidate(block)
+                if st is not None and is_dirty(st):
+                    # stale dirty peer: its data reaches the LLC
+                    self._insert_llc(s, block, dirty=True)
+                if self.l2 is not None:
+                    l2st = self.l2[s].invalidate(block)
+                    if l2st is not None and is_dirty(l2st):
+                        self._insert_llc(s, block, dirty=True)
+                table.remove_sharer(block, s)
+                self.invalidations += 1
+
+    def _invalidate_peer_vaults(self, core, block):
+        """SILO: invalidate the block in every other core's vault (and
+        its L1/L2 by inclusion).  Dirty remote copies would be supplied
+        to the writer, not written back, under MOESI."""
+        s = block % self.vaults[0].num_sets
+        for c, vault in enumerate(self.vaults):
+            if c == core or vault.tags[s] != block:
+                continue
+            vault.tags[s] = -1
+            vault.states[s] = 0
+            if self.missmaps is not None:
+                self.missmaps[c].record_eviction(block)
+            self.l1d[c].invalidate(block)
+            self.l1i[c].invalidate(block)
+            if self.l2 is not None:
+                self.l2[c].invalidate(block)
+            self.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # shared-LLC (baseline / Vaults-Sh / 3-level SRAM & eDRAM) path
+    # ------------------------------------------------------------------
+
+    def _miss_shared(self, core, block, is_write, is_data, now):
+        """L1 miss in a shared-LLC system.  Returns (latency, level)."""
+        # Private L2 (3-level hierarchies)
+        if self.l2 is not None:
+            l2 = self.l2[core]
+            st = l2.lookup(block)
+            if st is not None:
+                lat = self.l2_latency
+                self._fill_l1_shared(core, block, is_write, is_data,
+                                     from_state=st)
+                return lat, LEVEL_L2
+
+        if self.victim_replication and is_data:
+            home_bank = self.llc.bank_of(block)
+            if home_bank != core:
+                local = self.llc.banks[core]
+                if local.lookup(block) is not None:
+                    # replica hit in the local bank: no mesh traversal
+                    self.llc_accesses += 1
+                    self.replica_hits += 1
+                    lat = (self.mesh.INJECTION_OVERHEAD
+                           + self.llc.bank_latency)
+                    self._fill_l1_shared(core, block, is_write, True,
+                                         from_state=None)
+                    if is_write:
+                        self._invalidate_replicas(block)
+                    return lat, LEVEL_LLC_LOCAL
+
+        bank = self.llc.bank_of(block)
+        lat = self.mesh.round_trip(core, bank) + self.llc.bank_latency
+        self.llc_accesses += 1
+        if self.track_sharing and is_data:
+            if is_write:
+                self.llc_demand_writes += 1
+                self.block_writers[block] = (
+                    self.block_writers.get(block, 0) | (1 << core))
+                self.llc_writes_by_block[block] = (
+                    self.llc_writes_by_block.get(block, 0) + 1)
+            else:
+                self.llc_reads += 1
+                self.block_readers[block] = (
+                    self.block_readers.get(block, 0) | (1 << core))
+
+        level = LEVEL_LLC_LOCAL
+        served = False
+        if is_data:
+            # A peer L1 may hold the line dirty (non-inclusive MESI).
+            owner = self.sharer_table.owner(block)
+            if owner != SharerTable.NO_OWNER and owner != core:
+                owner_state = self.l1d[owner].lookup(block, touch=False)
+                if owner_state is not None:
+                    # Forward from the peer; dirty data is also written
+                    # back to the LLC (MESI downgrade M->S).
+                    lat += (self.mesh.latency(bank, owner)
+                            + self.l1_latency
+                            + self.mesh.latency(owner, core))
+                    self.remote_forwards += 1
+                    if owner_state == MODIFIED:
+                        self._insert_llc(owner, block, dirty=True)
+                    self.l1d[owner].update(block, SHARED)
+                    self.sharer_table.clear_owner(block)
+                    level = LEVEL_LLC_REMOTE
+                    served = True
+
+        if not served:
+            if self.llc.lookup(block) is not None:
+                served = True
+            else:
+                lat2, level = self._off_chip_shared(core, block, is_write,
+                                                    now)
+                lat += lat2
+                self._insert_llc(core, block, dirty=False)
+
+        if self.l2 is not None:
+            l2victim = self.l2[core].insert(block, SHARED)
+            if l2victim is not None:
+                self._handle_l2_victim(core, l2victim)
+        self._fill_l1_shared(core, block, is_write, is_data,
+                             from_state=None)
+        return lat, level
+
+    def _off_chip_shared(self, core, block, is_write, now):
+        """LLC miss: conventional DRAM cache (if any), then memory."""
+        port = self.mesh.nearest_memory_port(core)
+        noc = 2 * self.mesh.latency(core, port)
+        if self.dram_cache is not None:
+            self.dram_cache_accesses += 1
+            if self.dram_cache.lookup_block(block):
+                ctrl = self.dram_cache_ctrl[(block >> 3) % 8]
+                queue = ctrl.access(block, self.now)
+                return (noc + self.dram_cache_latency + queue,
+                        LEVEL_DRAM_CACHE)
+            # Perfect miss prediction: no wasted DRAM$ probe.  Fill the
+            # page from memory in the background.
+            victim = self.dram_cache.fill(block)
+            if victim is not None and victim[1]:
+                self.memory.access(block, self.now, is_write=True)
+        return (noc + self.memory.access(block, now), LEVEL_MEMORY)
+
+    def _insert_llc(self, core, block, dirty):
+        """Allocate a block in the shared LLC; handles dirty victims."""
+        self.llc_accesses += 1
+        if self.track_sharing and dirty:
+            self.block_writers[block] = (
+                self.block_writers.get(block, 0) | (1 << core))
+            self.llc_writes_by_block[block] = (
+                self.llc_writes_by_block.get(block, 0) + 1)
+        existing = self.llc.lookup(block, touch=False)
+        if existing is not None:
+            if dirty:
+                self.llc.update(block, True)
+            return
+        victim = self.llc.insert(block, dirty)
+        if victim is not None and victim[1]:
+            self.llc_writebacks += 1
+            vb = victim[0]
+            if self.dram_cache is not None:
+                self.dram_cache_accesses += 1
+                if self.dram_cache.lookup_block(vb):
+                    self.dram_cache.touch_write(vb)
+                else:
+                    dvic = self.dram_cache.fill(vb, dirty=True)
+                    if dvic is not None and dvic[1]:
+                        self.memory.access(vb, self.now, is_write=True)
+            else:
+                self.memory.access(vb, self.now, is_write=True)
+
+    def _handle_l2_victim(self, core, victim):
+        """L2 eviction: the block leaves the core's private hierarchy
+        entirely (L1 inclusion enforced), so its sharer entry is
+        dropped; dirty data (in either level) reaches the LLC."""
+        vb, vst = victim
+        l1st = self.l1d[core].invalidate(vb)
+        self.l1i[core].invalidate(vb)
+        if l1st is not None and is_dirty(l1st):
+            vst = MODIFIED
+        self.sharer_table.remove_sharer(vb, core)
+        if is_dirty(vst):
+            self._insert_llc(core, vb, dirty=True)
+
+    def _fill_l1_shared(self, core, block, is_write, is_data, from_state):
+        """Fill the L1 after a shared-org miss, with MESI state."""
+        if not is_data:
+            return  # the ifetch path fills L1-I at the call site
+        table = self.sharer_table
+        if is_write:
+            self._invalidate_peer_l1s(core, block)
+            state = MODIFIED
+            table.add_sharer(block, core, exclusive=True)
+        else:
+            others = table.sharers(block) & ~(1 << core)
+            state = EXCLUSIVE if others == 0 else SHARED
+            table.add_sharer(block, core, exclusive=others == 0)
+        victim = self.l1d[core].insert(block, state)
+        if victim is not None:
+            vb, vst = victim
+            table.remove_sharer(vb, core)
+            if is_dirty(vst):
+                self.l1_writebacks += 1
+                if self.l2 is not None:
+                    self.l2[core].insert(vb, MODIFIED)
+                    # (victim of this insert handled lazily on next use)
+                else:
+                    self._insert_llc(core, vb, dirty=True)
+            elif (self.victim_replication
+                  and self.llc.bank_of(vb) != core):
+                # clean victim: keep a low-priority replica in the
+                # local bank (LRU position: replicas earn retention by
+                # being re-referenced, they never displace hot blocks
+                # on arrival)
+                self.llc.banks[core].insert_cold(vb, False)
+                self.llc_accesses += 1
+
+    # ------------------------------------------------------------------
+    # SILO (private vault) path
+    # ------------------------------------------------------------------
+
+    def _miss_private(self, core, block, is_write, is_data, now):
+        """L1 miss in SILO.  Returns (latency, level)."""
+        if self.l2 is not None:
+            l2 = self.l2[core]
+            st = l2.lookup(block)
+            if st is not None:
+                if is_write and st != MODIFIED:
+                    # treat as an upgrade through the normal machinery
+                    if st != EXCLUSIVE:
+                        self._invalidate_peer_vaults(core, block)
+                    l2.update(block, MODIFIED)
+                    vault = self.vaults[core]
+                    if vault.contains(block):
+                        vault.update(block, MODIFIED)
+                    st = MODIFIED
+                self._fill_l1_private(core, block, is_write, is_data, st)
+                return self.l2_latency, LEVEL_L2
+
+        vault = self.vaults[core]
+        vst = vault.lookup(block)
+        if vst is not None:
+            # Local vault hit: one TAD access resolves tag + data.
+            lat = self.llc_latency
+            self.llc_accesses += 1
+            if is_write and vst != MODIFIED:
+                if vst != EXCLUSIVE:
+                    self._invalidate_peer_vaults(core, block)
+                vault.update(block, MODIFIED)
+                vst = MODIFIED
+            self._fill_private_levels(core, block, is_write, is_data, vst)
+            return lat, LEVEL_LLC_LOCAL
+
+        # Local vault miss.
+        if self.local_mp == "ideal":
+            probe_skipped = True
+        elif self.missmaps is not None:
+            probe_skipped = self.missmaps[core].predicts_miss(block)
+        else:
+            probe_skipped = False
+        lat = 0 if probe_skipped else self.llc_latency
+        if not probe_skipped:
+            self.llc_accesses += 1  # the probe that discovered the miss
+        home = block % self.num_cores
+        lat += self.mesh.latency(core, home)
+        self.directory_lookups += 1
+        if self.dir_cache == "ideal":
+            pass  # metadata always in SRAM, zero cost
+        elif self.sram_dir_cache is not None:
+            dir_set = block % self.vaults[0].num_sets
+            if not self.sram_dir_cache.lookup(home, dir_set):
+                lat += self.dir_latency
+                self.llc_accesses += 1
+        else:
+            lat += self.dir_latency  # directory metadata is in DRAM
+            self.llc_accesses += 1
+
+        holders = self.directory.holder_states(block)
+        new_state = MODIFIED if is_write else EXCLUSIVE
+        if holders:
+            if is_write:
+                self._invalidate_peer_vaults(core, block)
+                # data supplied by the (former) owner before invalidation
+                supplier = holders[0][0]
+                lat += (self.mesh.latency(home, supplier)
+                        + self.llc_latency
+                        + self.mesh.latency(supplier, core))
+                self.llc_accesses += 1
+                self.remote_forwards += 1
+                level = LEVEL_LLC_REMOTE
+            else:
+                supplier, sup_state = max(
+                    holders, key=lambda cs: cs[1])  # prefer M > O > E > S
+                lat += (self.mesh.latency(home, supplier)
+                        + self.llc_latency
+                        + self.mesh.latency(supplier, core))
+                self.llc_accesses += 1
+                self.remote_forwards += 1
+                self._downgrade_supplier(supplier, block, sup_state)
+                new_state = SHARED
+                level = LEVEL_LLC_REMOTE
+        else:
+            port = self.mesh.nearest_memory_port(home)
+            lat += (self.mesh.latency(home, port)
+                    + self.memory.access(block, now)
+                    + self.mesh.latency(port, core))
+            level = LEVEL_MEMORY
+
+        self._fill_vault(core, block, new_state)
+        self._fill_private_levels(core, block, is_write, is_data,
+                                  new_state)
+        return lat, level
+
+    def _downgrade_supplier(self, supplier, block, sup_state):
+        """MOESI read response: a dirty holder keeps ownership as O, a
+        clean holder drops to S; its L1 copy follows.  Under the MESI
+        ablation the dirty holder must write back to memory first and
+        both copies end up Shared -- the cost the O state avoids
+        (Sec. V-B)."""
+        if sup_state in (MODIFIED, OWNED):
+            if self.moesi:
+                new = OWNED
+            else:
+                self.memory.access(block, self.now, is_write=True)
+                new = SHARED
+        else:
+            new = SHARED
+        self.vaults[supplier].update(block, new)
+        l1 = self.l1d[supplier]
+        l1st = l1.lookup(block, touch=False)
+        if l1st is not None and l1st != new:
+            if l1st == MODIFIED:
+                self.llc_accesses += 1  # fresh data copied down to vault
+            l1.update(block, new)
+        if self.l2 is not None:
+            l2 = self.l2[supplier]
+            if l2.contains(block):
+                l2.update(block, new)
+
+    def _fill_vault(self, core, block, state):
+        """Fill the core's direct-mapped vault, evicting the set's
+        current resident (inclusion: the victim leaves L1/L2 too; dirty
+        victims are written back to memory)."""
+        vault = self.vaults[core]
+        victim = vault.insert(block, state)
+        self.llc_accesses += 1  # the fill write
+        if self.missmaps is not None:
+            self.missmaps[core].record_fill(block)
+            if victim is not None:
+                self.missmaps[core].record_eviction(victim[0])
+        if victim is None:
+            return
+        vb, vst = victim
+        self.vault_evictions += 1
+        l1st = self.l1d[core].invalidate(vb)
+        self.l1i[core].invalidate(vb)
+        if self.l2 is not None:
+            self.l2[core].invalidate(vb)
+        if (l1st is not None and is_dirty(l1st)) or is_dirty(vst):
+            self.memory.access(vb, self.now, is_write=True)
+
+    def _fill_private_levels(self, core, block, is_write, is_data, state):
+        """Fill L2 (if present) and L1 after a vault/remote/memory
+        response in SILO."""
+        if self.l2 is not None:
+            l2victim = self.l2[core].insert(block, state)
+            if l2victim is not None:
+                vb, vst = l2victim
+                l1st = self.l1d[core].invalidate(vb)
+                self.l1i[core].invalidate(vb)
+                if l1st is not None and is_dirty(l1st):
+                    # dirty data returns to the (inclusive) vault
+                    if self.vaults[core].contains(vb):
+                        self.vaults[core].update(vb, MODIFIED)
+                        self.llc_accesses += 1
+        self._fill_l1_private(core, block, is_write, is_data, state)
+
+    def _fill_l1_private(self, core, block, is_write, is_data, state):
+        if not is_data:
+            return
+        l1state = MODIFIED if is_write else state
+        victim = self.l1d[core].insert(block, l1state)
+        if victim is not None:
+            vb, vst = victim
+            if is_dirty(vst):
+                self.l1_writebacks += 1
+                # Inclusive hierarchy: the dirty data lands in the vault
+                # (or L2), which already tracks the block as M.
+                if self.l2 is None and self.vaults[core].contains(vb):
+                    self.llc_accesses += 1
+
+    # ------------------------------------------------------------------
+    # statistics helpers
+    # ------------------------------------------------------------------
+
+    def reset_stats(self):
+        """Zero all measurement state (after warmup)."""
+        for c in self.cores:
+            c.reset()
+        self.memory.reset_stats()
+        self.mesh.reset_stats()
+        self.llc_accesses = 0
+        self.dram_cache_accesses = 0
+        if self.dram_cache_ctrl is not None:
+            for ctrl in self.dram_cache_ctrl:
+                ctrl.reset()
+        self.invalidations = 0
+        self.l1_writebacks = 0
+        self.llc_writebacks = 0
+        self.vault_evictions = 0
+        self.directory_lookups = 0
+        self.remote_forwards = 0
+        self.block_readers = {}
+        self.block_writers = {}
+        self.llc_reads = 0
+        self.llc_demand_writes = 0
+        self.llc_writes_by_block = {}
+
+    def sharing_breakdown(self):
+        """Fig. 3 classification of LLC accesses: (reads,
+        writes_nosharing, writes_rwsharing).  Requires
+        ``track_sharing``."""
+        rw_writes = 0
+        total_writes = 0
+        for block, count in self.llc_writes_by_block.items():
+            total_writes += count
+            writers = self.block_writers.get(block, 0)
+            readers = self.block_readers.get(block, 0)
+            if writers and (readers & ~writers):
+                rw_writes += count
+        return (self.llc_reads, total_writes - rw_writes, rw_writes)

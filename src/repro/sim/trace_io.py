@@ -1,0 +1,67 @@
+"""Trace persistence: save/load generated traces as .npz archives.
+
+Lets long traces be generated once and replayed across many system
+configurations (or shared between machines) without regeneration cost.
+The archive stores, per core: block numbers, flags, the instruction
+rate and the prewarm length, plus the layout needed to restore
+RW-shared attribution.
+"""
+
+import json
+
+import numpy as np
+
+from repro.workloads.generator import CoreTrace, TraceLayout
+
+
+def save_traces(path, traces, layout=None):
+    """Write traces (and optionally their layout) to ``path`` (.npz)."""
+    if not traces:
+        raise ValueError("no traces to save")
+    arrays = {}
+    meta = {"core_ids": [], "instr_per_event": [], "prewarm_events": []}
+    for tr in traces:
+        arrays["blocks_%d" % tr.core_id] = np.asarray(tr.blocks,
+                                                      dtype=np.int64)
+        arrays["flags_%d" % tr.core_id] = np.asarray(tr.flags,
+                                                     dtype=np.int64)
+        meta["core_ids"].append(tr.core_id)
+        meta["instr_per_event"].append(tr.instr_per_event)
+        meta["prewarm_events"].append(tr.prewarm_events)
+    if layout is not None:
+        meta["layout"] = {
+            "code_range": list(layout.code_range),
+            "region_ranges": {k: list(v)
+                              for k, v in layout.region_ranges.items()},
+            "rw_shared_range": list(layout.rw_shared_range),
+            "total_blocks": layout.total_blocks,
+        }
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_traces(path):
+    """Read traces back; returns (traces, layout_or_None)."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode())
+        traces = []
+        for i, core_id in enumerate(meta["core_ids"]):
+            traces.append(CoreTrace(
+                core_id=core_id,
+                blocks=data["blocks_%d" % core_id].tolist(),
+                flags=data["flags_%d" % core_id].tolist(),
+                instr_per_event=meta["instr_per_event"][i],
+                prewarm_events=meta["prewarm_events"][i],
+            ))
+    layout = None
+    if "layout" in meta:
+        lm = meta["layout"]
+        layout = TraceLayout(
+            code_range=tuple(lm["code_range"]),
+            region_ranges={k: tuple(v)
+                           for k, v in lm["region_ranges"].items()},
+            rw_shared_range=tuple(lm["rw_shared_range"]),
+            total_blocks=lm["total_blocks"],
+        )
+    return traces, layout

@@ -1,0 +1,33 @@
+"""Synthetic server workload models.
+
+Each workload is a statistical model of the memory behaviour the paper
+characterizes in Sec. II: a shared hot instruction working set, a large
+secondary data working set (Zipf-popular or scanned), per-core private
+data, and a small read-write-shared region.  The trace generator turns
+a model into per-core block-reference streams.
+"""
+
+from repro.workloads.base import CodeSpec, RegionSpec, WorkloadSpec
+from repro.workloads.generator import CoreTrace, TraceLayout, generate_traces
+from repro.workloads.scaleout import SCALEOUT_WORKLOADS, scaleout_workload
+from repro.workloads.enterprise import ENTERPRISE_WORKLOADS, enterprise_workload
+from repro.workloads.spec import SPEC_APPS, SPEC_MIXES, spec_app, spec_mix
+from repro.workloads.colocation import generate_colocation_traces
+
+__all__ = [
+    "CodeSpec",
+    "RegionSpec",
+    "WorkloadSpec",
+    "CoreTrace",
+    "TraceLayout",
+    "generate_traces",
+    "SCALEOUT_WORKLOADS",
+    "scaleout_workload",
+    "ENTERPRISE_WORKLOADS",
+    "enterprise_workload",
+    "SPEC_APPS",
+    "SPEC_MIXES",
+    "spec_app",
+    "spec_mix",
+    "generate_colocation_traces",
+]

@@ -1,0 +1,95 @@
+"""Analytic workload characterization.
+
+Fast, closed-form predictions about a :class:`WorkloadSpec` -- no
+simulation.  Used to sanity-check workload models against intent and to
+cross-validate the simulator:
+
+* scaled footprints of every region;
+* the fraction of data references an LLC of a given capacity can
+  possibly serve, combining Che's approximation for Zipf regions with
+  the all-or-nothing behaviour of cyclic scans under LRU and the
+  near-zero cacheability of uniform cold tails;
+* a capacity-sweep summary (the analytic skeleton of Fig. 1).
+"""
+
+from repro.params import MB
+from repro.analytic.che import lru_hit_rate_irm
+from repro.workloads.generator import region_blocks
+
+
+def scaled_footprints(spec, num_cores=16, scale=64):
+    """Blocks per region at simulation scale (aggregate across cores
+    for private/partitioned regions)."""
+    out = {"code": region_blocks(spec.code.size_mb, scale)}
+    for r in spec.regions:
+        n = region_blocks(r.size_mb, scale)
+        if r.sharing == "private":
+            n *= num_cores
+        out[r.name] = n
+    return out
+
+
+def region_cacheability(region, capacity_blocks, region_total_blocks):
+    """Expected hit fraction for one region's references given an LRU
+    cache of ``capacity_blocks`` dedicated to it."""
+    if region.pattern == "scan":
+        # cyclic reuse under LRU: all-or-nothing at the footprint
+        return 1.0 if region_total_blocks <= capacity_blocks else 0.0
+    if region.pattern == "uniform":
+        return min(1.0, capacity_blocks / region_total_blocks)
+    return lru_hit_rate_irm(region_total_blocks, region.alpha,
+                            min(capacity_blocks, region_total_blocks))
+
+
+def max_data_hit_fraction(spec, capacity_bytes, num_cores=16, scale=64):
+    """Upper bound on the fraction of *data* references an LLC of
+    ``capacity_bytes`` (full-scale) can serve.
+
+    LRU gives capacity to whatever is re-referenced soonest, so the
+    model allocates capacity greedily by *reference density*
+    (references per block): dense regions (heaps, hot sets) win their
+    footprint first; sparse ones (secondary working sets, cold tails)
+    get what remains.  This reproduces the all-or-nothing capacity
+    knees of the scanned regions."""
+    capacity_blocks = max(1, capacity_bytes // scale // 64)
+    footprints = scaled_footprints(spec, num_cores, scale)
+    regions = sorted(spec.regions,
+                     key=lambda r: r.fraction / footprints[r.name],
+                     reverse=True)
+    remaining = capacity_blocks
+    hit = 0.0
+    for r in regions:
+        fp = footprints[r.name]
+        if remaining <= 0:
+            break
+        if r.pattern == "scan":
+            if fp <= remaining:
+                hit += r.fraction
+                remaining -= fp
+            continue
+        give = min(fp, remaining)
+        hit += r.fraction * region_cacheability(r, give, fp)
+        remaining -= give
+    return min(1.0, hit)
+
+
+def capacity_sweep(spec, capacities_mb=(8, 64, 256, 1024), num_cores=16,
+                   scale=64):
+    """Analytic Fig. 1 skeleton: achievable data hit fraction per LLC
+    capacity."""
+    return [{"capacity_mb": mb,
+             "max_data_hit_fraction": max_data_hit_fraction(
+                 spec, mb * MB, num_cores, scale)}
+            for mb in capacities_mb]
+
+
+def working_set_summary(spec, num_cores=16, scale=64):
+    """Human-readable inventory: footprints and reference shares."""
+    footprints = scaled_footprints(spec, num_cores, scale)
+    rows = [{"region": "code", "pattern": "zipf-runs",
+             "scaled_blocks": footprints["code"], "ref_fraction": None}]
+    for r in spec.regions:
+        rows.append({"region": r.name, "pattern": r.pattern,
+                     "scaled_blocks": footprints[r.name],
+                     "ref_fraction": r.fraction})
+    return rows

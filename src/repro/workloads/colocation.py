@@ -1,0 +1,58 @@
+"""Heterogeneous deployments: different workloads on different cores.
+
+Supports the SPEC'06 multi-programmed mixes (Fig. 15) and the
+performance-isolation study (Table VI: Web Search on 8 cores colocated
+with mcf on the other 8).  Each workload gets a disjoint slice of the
+block address space so that colocated applications never share data --
+they contend only for shared hardware (the LLC, the NOC and memory),
+which is exactly the contention the study measures.
+"""
+
+from repro.workloads.generator import generate_traces
+
+# Pad between workloads' address spaces so that region boundaries of
+# different workloads never touch (also keeps bank-interleave patterns
+# of different apps decorrelated).
+_ADDRESS_PAD_BLOCKS = 1 << 20
+
+
+def generate_colocation_traces(assignments, events_per_core, scale=64,
+                               seed=0):
+    """Generate traces for a heterogeneous deployment.
+
+    Parameters
+    ----------
+    assignments:
+        List of ``(spec, core_ids)`` pairs; ``core_ids`` are the cores
+        running that workload.  Core id sets must be disjoint.
+    events_per_core, scale, seed:
+        As for :func:`repro.workloads.generator.generate_traces`.
+
+    Returns
+    -------
+    (traces, layouts):
+        ``traces`` ordered by core id covering all assigned cores;
+        ``layouts`` is a list of (spec_name, TraceLayout) in assignment
+        order.
+    """
+    seen = set()
+    for _, core_ids in assignments:
+        for c in core_ids:
+            if c in seen:
+                raise ValueError("core %d assigned to two workloads" % c)
+            seen.add(c)
+
+    traces_by_core = {}
+    layouts = []
+    base = 0
+    for i, (spec, core_ids) in enumerate(assignments):
+        traces, layout = generate_traces(
+            spec, num_cores=len(core_ids),
+            events_per_core=events_per_core, scale=scale,
+            seed=seed + i, base_block=base, core_ids=list(core_ids))
+        layouts.append((spec.name, layout))
+        base += layout.total_blocks + _ADDRESS_PAD_BLOCKS
+        for t in traces:
+            traces_by_core[t.core_id] = t
+    ordered = [traces_by_core[c] for c in sorted(traces_by_core)]
+    return ordered, layouts

@@ -1,0 +1,111 @@
+"""SPEC CPU2006 application models and the paper's 10 mixes (Table V).
+
+Each SPEC app is a single-threaded model: a small instruction working
+set, an L1-resident hot region, and one dominant data region whose
+size/pattern/skew are set from the apps' well-known memory behaviour
+(mcf's huge pointer-chased arcs array, lbm's streaming lattice,
+gamess's cache-resident data, ...).  ``ws_fraction`` -- the share of
+references that leave the hot region -- separates the memory-intensive
+apps (mcf, lbm, milc, astar: large ws, high ws_fraction) from the
+compute-bound ones (gamess, povray, namd...: small ws, low
+ws_fraction), reproducing Fig. 15's pattern where mixes containing
+memory-intensive apps gain most from SILO (Sec. VII-D2).
+"""
+
+from repro.cores.perf_model import CoreParams
+from repro.workloads.base import CodeSpec, RegionSpec, WorkloadSpec
+
+
+def _app(name, ws_mb, pattern, alpha, drpi, cpi, mlp, ws_fraction,
+         write_fraction=0.25, sparse=True):
+    """Build a single-threaded SPEC app model."""
+    regions = (
+        RegionSpec("hot", 0.25, "zipf", "private", 1.0 - ws_fraction,
+                   alpha=1.35, write_fraction=0.30),
+        RegionSpec("ws", ws_mb, pattern, "private", ws_fraction,
+                   alpha=alpha, write_fraction=write_fraction,
+                   page_sparse=sparse),
+    )
+    return WorkloadSpec(
+        name="spec_" + name,
+        code=CodeSpec(size_mb=0.5, alpha=1.2),
+        regions=regions,
+        core=CoreParams(base_cpi=cpi, mlp=mlp, data_refs_per_instr=drpi),
+    )
+
+
+SPEC_APPS = {
+    # memory-intensive: large working sets, lots of traffic past the L1
+    "mcf":        _app("mcf", 1700.0, "zipf", 0.45, 0.30, 0.90, 2.2, 0.22),
+    "lbm":        _app("lbm", 400.0, "scan", 0.0, 0.32, 0.60, 4.5, 0.18),
+    "milc":       _app("milc", 600.0, "zipf", 0.30, 0.28, 0.70, 3.5, 0.16),
+    "astar":      _app("astar", 170.0, "zipf", 0.55, 0.28, 0.80, 2.0, 0.14),
+    "omnetpp":    _app("omnetpp", 140.0, "zipf", 0.60, 0.30, 0.80, 2.0,
+                       0.10),
+    "soplex":     _app("soplex", 250.0, "zipf", 0.50, 0.30, 0.70, 2.6,
+                       0.12),
+    "bwaves":     _app("bwaves", 450.0, "scan", 0.0, 0.30, 0.60, 4.5, 0.13),
+    "leslie3d":   _app("leslie3d", 80.0, "scan", 0.0, 0.30, 0.65, 3.5,
+                       0.09),
+    "zeusmp":     _app("zeusmp", 120.0, "zipf", 0.50, 0.28, 0.70, 3.0,
+                       0.08),
+    "cactusADM":  _app("cactusADM", 160.0, "scan", 0.0, 0.28, 0.70, 3.0,
+                       0.08),
+    "xalancbmk":  _app("xalancbmk", 60.0, "zipf", 0.70, 0.30, 0.80, 2.0,
+                       0.07),
+    "gcc":        _app("gcc", 80.0, "zipf", 0.80, 0.25, 0.70, 2.0, 0.06),
+    # compute-bound: cache-resident working sets
+    "sjeng":      _app("sjeng", 170.0, "zipf", 1.00, 0.20, 0.60, 2.0,
+                       0.05),
+    "gobmk":      _app("gobmk", 30.0, "zipf", 0.95, 0.22, 0.60, 2.0,
+                       0.045, sparse=False),
+    "perlbench":  _app("perlbench", 40.0, "zipf", 0.95, 0.24, 0.60, 2.0,
+                       0.045, sparse=False),
+    "bzip2":      _app("bzip2", 60.0, "zipf", 0.85, 0.24, 0.65, 2.4,
+                       0.05, sparse=False),
+    "calculix":   _app("calculix", 30.0, "zipf", 0.90, 0.22, 0.55, 3.0,
+                       0.035, sparse=False),
+    "namd":       _app("namd", 40.0, "zipf", 0.95, 0.22, 0.55, 3.0,
+                       0.035, sparse=False),
+    "gromacs":    _app("gromacs", 20.0, "zipf", 0.95, 0.22, 0.55, 2.6,
+                       0.03, sparse=False),
+    "gamess":     _app("gamess", 10.0, "zipf", 1.00, 0.20, 0.50, 2.2,
+                       0.025, sparse=False),
+    "povray":     _app("povray", 8.0, "zipf", 1.00, 0.20, 0.55, 2.0,
+                       0.025, sparse=False),
+    "tonto":      _app("tonto", 30.0, "zipf", 0.95, 0.22, 0.55, 2.2,
+                       0.03, sparse=False),
+}
+
+#: Table V: the ten randomly-drawn 4-app mixes.
+SPEC_MIXES = {
+    "mix1": ("sjeng", "calculix", "mcf", "omnetpp"),
+    "mix2": ("lbm", "gamess", "namd", "gromacs"),
+    "mix3": ("mcf", "zeusmp", "calculix", "lbm"),
+    "mix4": ("tonto", "gamess", "bzip2", "namd"),
+    "mix5": ("mcf", "povray", "gcc", "cactusADM"),
+    "mix6": ("gobmk", "perlbench", "milc", "astar"),
+    "mix7": ("xalancbmk", "sjeng", "cactusADM", "bwaves"),
+    "mix8": ("calculix", "leslie3d", "astar", "gcc"),
+    "mix9": ("gromacs", "gobmk", "gamess", "astar"),
+    "mix10": ("omnetpp", "zeusmp", "soplex", "povray"),
+}
+
+
+def spec_app(name):
+    """Look up a SPEC'06 application model by name."""
+    try:
+        return SPEC_APPS[name]
+    except KeyError:
+        raise KeyError("unknown SPEC app %r (choose from %s)"
+                       % (name, sorted(SPEC_APPS)))
+
+
+def spec_mix(name):
+    """The four app models of one Table V mix."""
+    try:
+        apps = SPEC_MIXES[name]
+    except KeyError:
+        raise KeyError("unknown mix %r (choose from %s)"
+                       % (name, sorted(SPEC_MIXES)))
+    return [SPEC_APPS[a] for a in apps]

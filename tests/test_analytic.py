@@ -1,0 +1,63 @@
+"""Che's approximation and its agreement with the simulated caches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analytic.che import zipf_weights, che_hit_rate, lru_hit_rate_irm
+from repro.caches.sram_cache import SetAssocCache
+from repro.workloads.generator import zipf_ranks
+
+
+def test_weights_normalized():
+    w = zipf_weights(100, 0.8)
+    assert w.sum() == pytest.approx(1.0)
+    assert w[0] > w[-1]
+
+
+def test_weights_validation():
+    with pytest.raises(ValueError):
+        zipf_weights(0, 0.8)
+
+
+def test_hit_rate_bounds():
+    assert che_hit_rate(zipf_weights(100, 0.8), 0) == 0.0
+    assert che_hit_rate(zipf_weights(100, 0.8), 100) == 1.0
+    assert che_hit_rate(zipf_weights(100, 0.8), 200) == 1.0
+
+
+@given(st.integers(min_value=1, max_value=90))
+@settings(max_examples=20, deadline=None)
+def test_hit_rate_monotonic_in_capacity(cap):
+    p = zipf_weights(100, 0.8)
+    assert che_hit_rate(p, cap) <= che_hit_rate(p, cap + 5) + 1e-9
+
+
+def test_skew_increases_hit_rate():
+    assert (lru_hit_rate_irm(1000, 1.0, 50)
+            > lru_hit_rate_irm(1000, 0.3, 50))
+
+
+def test_che_matches_simulated_lru():
+    """A near-fully-associative LRU cache fed an IRM Zipf stream should
+    land within a few points of Che's prediction."""
+    n_items, alpha, cap = 2000, 0.8, 256
+    predicted = lru_hit_rate_irm(n_items, alpha, cap)
+    cache = SetAssocCache(cap * 64, 16)  # 16 sets x 16 ways
+    rng = np.random.default_rng(42)
+    stream = zipf_ranks(n_items, alpha, 60000, rng)
+    hits = total = 0
+    for i, b in enumerate(stream.tolist()):
+        resident = cache.lookup(b) is not None
+        if not resident:
+            cache.insert(b, 0)
+        if i >= 20000:  # measure after warmup
+            total += 1
+            hits += resident
+    measured = hits / total
+    assert abs(measured - predicted) < 0.05
+
+
+def test_unnormalized_weights_accepted():
+    p = np.array([4.0, 2.0, 1.0, 1.0])
+    assert 0 < che_hit_rate(p, 2) < 1

@@ -1,0 +1,69 @@
+"""Page-based conventional DRAM cache."""
+
+import pytest
+
+from repro.caches.dram_cache import PageDRAMCache
+
+
+def make(pages=16):
+    return PageDRAMCache(pages * 4096)
+
+
+def test_geometry():
+    c = make()
+    assert c.num_pages == 16
+    assert c.blocks_per_page == 64
+
+
+def test_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        PageDRAMCache(1000)
+    with pytest.raises(ValueError):
+        PageDRAMCache(4096, page_bytes=100)
+
+
+def test_block_hit_via_page():
+    c = make()
+    c.fill(5)                       # page 0
+    assert c.lookup_block(5)
+    assert c.lookup_block(63)       # same page
+    assert not c.lookup_block(64)   # next page
+
+
+def test_fill_evicts_conflicting_page():
+    c = make()
+    c.fill(0)                 # page 0 -> slot 0
+    victim = c.fill(16 * 64)  # page 16 -> slot 0
+    assert victim == (0, False)
+    assert not c.lookup_block(0)
+
+
+def test_dirty_tracking():
+    c = make()
+    c.fill(0)
+    c.touch_write(3)
+    victim = c.fill(16 * 64)
+    assert victim == (0, True)
+
+
+def test_touch_write_requires_residency():
+    c = make()
+    with pytest.raises(KeyError):
+        c.touch_write(0)
+
+
+def test_fill_dirty_flag():
+    c = make()
+    c.fill(0, dirty=True)
+    assert c.invalidate_page(0) is True
+
+
+def test_invalidate_absent_page():
+    assert make().invalidate_page(3) is None
+
+
+def test_occupancy():
+    c = make()
+    for p in range(5):
+        c.fill(p * 64)
+    assert c.occupancy_pages() == 5

@@ -1,0 +1,64 @@
+"""Shared S-NUCA LLC."""
+
+import pytest
+
+from repro.caches.nuca import SharedNUCA
+
+
+def make(size=16 * 4096, ways=4, banks=4):
+    return SharedNUCA(size, ways, num_banks=banks, bank_latency=5)
+
+
+def test_bank_interleave():
+    llc = make()
+    for b in range(16):
+        assert llc.bank_of(b) == b % 4
+
+
+def test_rejects_uneven_split():
+    with pytest.raises(ValueError):
+        SharedNUCA(1000, 4, num_banks=3, bank_latency=5)
+    with pytest.raises(ValueError):
+        SharedNUCA(4096, 4, num_banks=0, bank_latency=5)
+
+
+def test_capacity_split_across_banks():
+    llc = make()
+    per_bank = llc.banks[0].capacity_blocks
+    assert llc.capacity_blocks == 4 * per_bank
+
+
+def test_insert_goes_to_right_bank():
+    llc = make()
+    llc.insert(6, True)
+    assert llc.banks[2].contains(6)
+    assert not llc.banks[0].contains(6)
+    assert llc.lookup(6) is True
+
+
+def test_update_and_invalidate():
+    llc = make()
+    llc.insert(9, False)
+    llc.update(9, True)
+    assert llc.lookup(9) is True
+    assert llc.invalidate(9) is True
+    assert llc.lookup(9) is None
+
+
+def test_no_cross_bank_conflicts():
+    """Blocks mapping to different banks never evict each other."""
+    llc = SharedNUCA(8 * 64, 1, num_banks=2, bank_latency=5)
+    llc.insert(0, 0)   # bank 0
+    llc.insert(1, 1)   # bank 1
+    # fill bank 0 completely
+    for b in range(2, 2 + 64, 2):
+        llc.insert(b, b)
+    assert llc.lookup(1) == 1  # bank 1 untouched
+
+
+def test_occupancy_and_blocks():
+    llc = make()
+    for b in range(20):
+        llc.insert(b, b)
+    assert llc.occupancy() == 20
+    assert dict(llc.blocks()) == {b: b for b in range(20)}

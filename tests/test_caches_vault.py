@@ -1,0 +1,76 @@
+"""Direct-mapped vault cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.caches.vault_cache import VaultCache
+
+
+def test_geometry():
+    v = VaultCache(64 * 64)
+    assert v.num_sets == 64
+    assert v.capacity_blocks == 64
+
+
+def test_rejects_bad_size():
+    with pytest.raises(ValueError):
+        VaultCache(100)
+
+
+def test_insert_and_lookup():
+    v = VaultCache(64 * 64)
+    assert v.insert(5, 2) is None
+    assert v.lookup(5) == 2
+    assert v.contains(5)
+
+
+def test_conflict_eviction():
+    v = VaultCache(64 * 64)
+    v.insert(5, 1)
+    victim = v.insert(5 + 64, 2)  # same set
+    assert victim == (5, 1)
+    assert not v.contains(5)
+    assert v.lookup(5 + 64) == 2
+
+
+def test_reinsert_same_block_no_victim():
+    v = VaultCache(64 * 64)
+    v.insert(5, 1)
+    assert v.insert(5, 3) is None
+    assert v.lookup(5) == 3
+
+
+def test_update_and_invalidate():
+    v = VaultCache(64 * 64)
+    v.insert(7, 1)
+    v.update(7, 4)
+    assert v.lookup(7) == 4
+    assert v.invalidate(7) == 4
+    assert v.invalidate(7) is None
+    with pytest.raises(KeyError):
+        v.update(7, 1)
+
+
+def test_blocks_and_occupancy():
+    v = VaultCache(64 * 64)
+    for b in range(10):
+        v.insert(b, b)
+    assert v.occupancy() == 10
+    assert dict(v.blocks()) == {b: b for b in range(10)}
+    v.clear()
+    assert v.occupancy() == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1024), max_size=200))
+def test_direct_mapped_invariant(blocks):
+    """At most one block per set; the resident is always the most
+    recently inserted block of its set."""
+    v = VaultCache(16 * 64)
+    last_of_set = {}
+    for b in blocks:
+        v.insert(b, 0)
+        last_of_set[b % 16] = b
+    for s, expected in last_of_set.items():
+        assert v.tags[s] == expected
+    assert v.occupancy() == len(last_of_set)

@@ -1,0 +1,61 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_cli_runs_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "area_efficiency" in out
+    assert "access_latency" in out
+
+
+def test_cli_runs_fig7(capsys):
+    assert main(["fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "1024x1024" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_cli_rejects_unknown_sampling():
+    with pytest.raises(SystemExit):
+        main(["fig10", "--sampling", "bogus"])
+
+
+def test_cli_quick_simulation(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SAMPLING", "quick")
+    assert main(["fig3", "--scale", "1024"]) == 0
+    out = capsys.readouterr().out
+    assert "Web Search" in out
+
+
+def test_cli_characterize(capsys):
+    assert main(["characterize", "--scale", "128"]) == 0
+    out = capsys.readouterr().out
+    assert "web_search" in out and "tpcc" in out
+
+
+def test_cli_validate_tech(capsys):
+    assert main(["validate_tech"]) == 0
+    out = capsys.readouterr().out
+    assert "SILO-CO" in out
+
+
+def test_cli_json_output(capsys):
+    assert main(["table1", "--json"]) == 0
+    import json
+    rows = json.loads(capsys.readouterr().out)
+    assert rows[0]["metric"] == "area_efficiency"
+
+
+def test_cli_chart_flag(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SAMPLING", "quick")
+    assert main(["fig4", "--scale", "1024", "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "multiplier" in out

@@ -1,0 +1,66 @@
+"""Die-level organization: capacity/area/latency derivation."""
+
+import pytest
+
+from repro.dram.die import DieOrganization
+from repro.dram.tile import Tile
+
+
+def make_die(banks=16, page_bytes=512, tile=None, subarrays=16):
+    return DieOrganization(banks=banks, page_bytes=page_bytes,
+                           tile=tile or Tile(128, 256),
+                           subarrays_per_bank=subarrays)
+
+
+def test_capacity_math():
+    die = make_die(banks=8, page_bytes=1024, tile=Tile(256, 256),
+                   subarrays=4)
+    assert die.page_bits == 8192
+    assert die.tiles_per_subarray == 32
+    assert die.rows_per_bank == 1024
+    assert die.bank_bits == 8192 * 1024
+    assert die.capacity_bits == 8 * 8192 * 1024
+    assert die.capacity_bytes == die.capacity_bits // 8
+
+
+def test_total_tiles():
+    die = make_die(banks=4, page_bytes=512, tile=Tile(64, 64), subarrays=2)
+    assert die.total_tiles == 4 * 2 * (512 * 8 // 64)
+
+
+def test_page_must_be_multiple_of_tile_cols():
+    with pytest.raises(ValueError):
+        DieOrganization(banks=8, page_bytes=100, tile=Tile(64, 64),
+                        subarrays_per_bank=1)
+
+
+@pytest.mark.parametrize("kw", [dict(banks=0), dict(subarrays=0)])
+def test_rejects_nonpositive_counts(kw):
+    banks = kw.get("banks", 8)
+    subarrays = kw.get("subarrays", 4)
+    with pytest.raises(ValueError):
+        DieOrganization(banks=banks, page_bytes=512, tile=Tile(64, 64),
+                        subarrays_per_bank=subarrays)
+
+
+def test_area_includes_bank_and_die_overheads():
+    die_small = make_die(banks=8)
+    die_many_banks = make_die(banks=128)
+    # Same capacity per bank => more banks => more capacity AND more
+    # bank overhead; area must grow superlinearly vs pure cells.
+    assert die_many_banks.area_mm2() > die_small.area_mm2()
+
+
+def test_area_efficiency_below_tile_efficiency():
+    """Die efficiency adds bank/die fixed costs on top of the tile
+    overheads."""
+    die = make_die()
+    assert die.area_efficiency() < die.tile_area_efficiency()
+
+
+def test_access_time_matches_timing_model():
+    from repro.dram import timing
+    die = make_die()
+    expected = timing.access_time_ns(die.tile, die.page_bits,
+                                     die.rows_per_bank)
+    assert die.access_time_ns() == pytest.approx(expected)

@@ -1,0 +1,53 @@
+"""Geometry-derived DRAM access energy."""
+
+import pytest
+
+from repro.dram.die import DieOrganization
+from repro.dram.tile import Tile
+from repro.dram.energy import (access_energy, vault_access_energy_nj,
+                               AccessEnergy)
+from repro.dram.sweep import sweep_vault_designs, latency_optimized_point
+
+
+def make_die(page_bytes=512):
+    return DieOrganization(banks=16, page_bytes=page_bytes,
+                           tile=Tile(128, 256), subarrays_per_bank=8)
+
+
+def test_components_sum_to_total():
+    e = access_energy(make_die())
+    assert e.total_nj == pytest.approx(
+        e.activate_nj + e.sense_nj + e.decode_nj + e.io_nj + e.tsv_nj)
+
+
+def test_longer_pages_cost_more_energy():
+    short = access_energy(make_die(page_bytes=512)).total_nj
+    long_ = access_energy(make_die(page_bytes=8192)).total_nj
+    assert long_ > short
+
+
+def test_stacking_adds_tsv_energy():
+    e_flat = access_energy(make_die(), stacked=False)
+    e_stack = access_energy(make_die(), stacked=True)
+    assert e_stack.tsv_nj > 0 == e_flat.tsv_nj
+
+
+def test_transfer_size_scales_io():
+    small = access_energy(make_die(), transfer_bytes=64)
+    big = access_energy(make_die(), transfer_bytes=128)
+    assert big.io_nj == pytest.approx(2 * small.io_nj)
+    assert big.activate_nj == small.activate_nj
+
+
+def test_latency_optimized_vault_matches_table_iii():
+    """The derived per-access energy of the swept latency-optimized
+    vault should land near Table III's 0.4 nJ."""
+    lo = latency_optimized_point(sweep_vault_designs())
+    assert 0.25 <= vault_access_energy_nj(lo) <= 0.55
+
+
+def test_validation():
+    with pytest.raises(TypeError):
+        access_energy("not a die")
+    with pytest.raises(ValueError):
+        access_energy(make_die(), transfer_bytes=0)

@@ -1,0 +1,50 @@
+"""3D stacking and thermal feasibility."""
+
+import pytest
+
+from repro.dram.stacking import (StackConfig, thermal_headroom_celsius,
+                                 max_feasible_layers, CELSIUS_PER_LAYER)
+
+
+def test_default_stack_is_4_layer_5mm2():
+    s = StackConfig()
+    assert s.layers == 4
+    assert s.footprint_mm2 == pytest.approx(5.0)
+
+
+def test_vault_capacity_is_layers_times_die():
+    s = StackConfig(layers=4)
+    assert s.vault_capacity_bytes(64 << 20) == 256 << 20
+
+
+def test_thermal_anchor_8_layers_6_5_celsius():
+    """[19]: 8 DRAM layers raise chip temperature by ~6.5 C."""
+    assert StackConfig(layers=8).temperature_rise_celsius() == \
+        pytest.approx(6.5)
+
+
+def test_default_stack_is_thermally_feasible():
+    assert StackConfig().is_thermally_feasible()
+
+
+def test_headroom_decreases_with_layers():
+    assert (thermal_headroom_celsius(2)
+            > thermal_headroom_celsius(4)
+            > thermal_headroom_celsius(8))
+
+
+def test_max_feasible_layers_consistent():
+    n = max_feasible_layers()
+    assert StackConfig(layers=n).is_thermally_feasible()
+    assert not StackConfig(layers=n + 1).is_thermally_feasible()
+
+
+def test_usable_area_below_footprint():
+    s = StackConfig()
+    assert 0 < s.usable_area_per_die_mm2() < s.footprint_mm2
+
+
+@pytest.mark.parametrize("kw", [dict(layers=0), dict(footprint_mm2=0.0)])
+def test_rejects_nonpositive(kw):
+    with pytest.raises(ValueError):
+        StackConfig(**kw)

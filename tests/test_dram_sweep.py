@@ -1,0 +1,104 @@
+"""Vault design-space sweep: Fig. 7 / Fig. 8 / Table I anchors."""
+
+import pytest
+
+from repro.params import MB
+from repro.dram.sweep import (sweep_vault_designs, pareto_frontier,
+                              latency_optimized_point,
+                              capacity_optimized_point,
+                              best_latency_at_capacity,
+                              tile_dimension_sweep)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep_vault_designs()
+
+
+def test_sweep_is_nonempty(points):
+    assert len(points) > 100
+
+
+def test_all_designs_fit_area_budget(points):
+    for p in points:
+        assert p.die_area_mm2 <= p.stack.usable_area_per_die_mm2() + 1e-9
+
+
+def test_frontier_has_no_dominated_points(points):
+    frontier = pareto_frontier(points)
+    for f in frontier:
+        dominators = [q for q in points
+                      if q.vault_capacity_bytes >= f.vault_capacity_bytes
+                      and q.access_time_ns < f.access_time_ns]
+        assert not dominators
+
+
+def test_frontier_is_sorted_and_monotonic(points):
+    frontier = pareto_frontier(points)
+    caps = [p.vault_capacity_bytes for p in frontier]
+    lats = [p.access_time_ns for p in frontier]
+    assert caps == sorted(caps)
+    assert lats == sorted(lats)
+
+
+def test_latency_optimized_anchor(points):
+    """Sec. IV-D: ~256 MB at ~5.5 ns is the latency-optimized sweet
+    spot."""
+    lo = latency_optimized_point(points)
+    assert 256 * MB <= lo.vault_capacity_bytes <= 320 * MB
+    assert 4.5 <= lo.access_time_ns <= 6.5
+
+
+def test_capacity_optimized_anchor(points):
+    """~512 MB at ~1.8x the latency-optimized access time (Table I)."""
+    lo = latency_optimized_point(points)
+    co = capacity_optimized_point(points)
+    assert co.vault_capacity_bytes >= 500 * MB
+    assert 1.6 <= co.access_time_ns / lo.access_time_ns <= 2.0
+
+
+def test_table1_area_efficiency_ratio(points):
+    lo = latency_optimized_point(points)
+    co = capacity_optimized_point(points)
+    ratio = co.area_efficiency() / lo.area_efficiency()
+    assert 1.5 <= ratio <= 2.2  # paper: 1.74
+
+
+def test_8mb_to_128mb_latency_growth_is_small(points):
+    """Fig. 8: 8 MB -> 128 MB costs < 10% extra latency."""
+    p8 = best_latency_at_capacity(points, 8 * MB)
+    p128 = best_latency_at_capacity(points, 128 * MB)
+    assert p128.access_time_ns / p8.access_time_ns < 1.12
+
+
+def test_best_latency_raises_when_unreachable(points):
+    with pytest.raises(ValueError):
+        best_latency_at_capacity(points, 1 << 50)
+
+
+def test_fill_area_only_is_subset(points):
+    filled = sweep_vault_designs(fill_area_only=True)
+    assert 0 < len(filled) < len(points)
+
+
+def test_fig7_sweep_shape():
+    rows = tile_dimension_sweep()
+    assert [r["tile"] for r in rows][0] == "1024x1024"
+    assert rows[0]["norm_latency"] == pytest.approx(1.0)
+    assert rows[0]["norm_area"] == pytest.approx(1.0)
+    lats = [r["norm_latency"] for r in rows]
+    areas = [r["norm_area"] for r in rows]
+    assert lats == sorted(lats, reverse=True)   # latency falls
+    assert areas == sorted(areas)               # area grows
+
+
+def test_fig7_anchor_values():
+    rows = {r["tile"]: r for r in tile_dimension_sweep()}
+    assert 0.30 <= rows["256x256"]["norm_latency"] <= 0.45
+    assert 1.35 <= rows["256x256"]["norm_area"] <= 1.60
+    assert rows["128x128"]["norm_area"] >= 2.0
+
+
+def test_describe_mentions_capacity(points):
+    lo = latency_optimized_point(points)
+    assert "MB vault" in lo.describe()

@@ -1,0 +1,74 @@
+"""Tile geometry and peripheral-area model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.tile import (Tile, area_overhead_factor, array_area_mm2,
+                             area_efficiency)
+from repro.dram.technology import TECH_22NM
+
+DIMS = st.sampled_from([64, 128, 256, 512, 1024, 2048])
+
+
+def test_tile_cells():
+    assert Tile(128, 256).cells == 128 * 256
+
+
+def test_tile_str():
+    assert str(Tile(256, 128)) == "256x128"
+
+
+@pytest.mark.parametrize("rows,cols", [(0, 64), (64, 0), (-1, 64)])
+def test_tile_rejects_nonpositive(rows, cols):
+    with pytest.raises(ValueError):
+        Tile(rows, cols)
+
+
+def test_overhead_factor_above_one():
+    assert area_overhead_factor(Tile(1024, 1024)) > 1.0
+
+
+@given(DIMS, DIMS)
+def test_smaller_tiles_cost_more_area(rows, cols):
+    """Halving either dimension strictly increases the overhead factor."""
+    base = area_overhead_factor(Tile(rows, cols))
+    assert area_overhead_factor(Tile(rows // 2, cols)) > base
+    assert area_overhead_factor(Tile(rows, cols // 2)) > base
+
+
+def test_overhead_factor_requires_tile():
+    with pytest.raises(TypeError):
+        area_overhead_factor((128, 128))
+
+
+def test_paper_area_anchors():
+    """Sec. IV-C: 256x256 costs ~+49% area over 1024x1024; 128x128
+    ~+150%."""
+    base = area_overhead_factor(Tile(1024, 1024))
+    r256 = area_overhead_factor(Tile(256, 256)) / base
+    r128 = area_overhead_factor(Tile(128, 128)) / base
+    assert 1.35 <= r256 <= 1.60
+    assert 2.1 <= r128 <= 2.9
+
+
+def test_area_efficiency_is_inverse_of_overhead():
+    t = Tile(512, 512)
+    assert area_efficiency(t) == pytest.approx(
+        1.0 / area_overhead_factor(t))
+
+
+def test_array_area_scales_linearly_with_bits():
+    t = Tile(512, 512)
+    one = array_area_mm2(1 << 30, t)
+    two = array_area_mm2(2 << 30, t)
+    assert two == pytest.approx(2 * one)
+
+
+def test_array_area_rejects_negative():
+    with pytest.raises(ValueError):
+        array_area_mm2(-1, Tile(64, 64))
+
+
+def test_commodity_area_efficiency_is_high():
+    # Density-optimized commodity tiles keep most area in cells.
+    assert area_efficiency(Tile(1024, 1024), TECH_22NM) > 0.85

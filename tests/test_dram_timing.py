@@ -1,0 +1,72 @@
+"""DRAM access-time model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.tile import Tile
+from repro.dram import timing
+
+DIMS = st.sampled_from([64, 128, 256, 512, 1024])
+
+
+def test_commodity_reference_is_ddr3_class():
+    """The 1 Gb / 1024x1024-tile reference die should land near 13 ns
+    (Fig. 7 baseline)."""
+    t = timing.commodity_reference_access_ns()
+    assert 12.0 <= t <= 14.5
+
+
+def test_paper_latency_anchor_256():
+    """Sec. IV-C: shrinking tiles 1024 -> 256 cuts latency ~64%."""
+    from repro.dram.technology import (COMMODITY_PAGE_BYTES,
+                                       COMMODITY_BANKS, COMMODITY_DIE_GBIT)
+    page_bits = COMMODITY_PAGE_BYTES * 8
+    rows = int(COMMODITY_DIE_GBIT * 2 ** 30) // COMMODITY_BANKS // page_bits
+    base = timing.access_time_ns(Tile(1024, 1024), page_bits, rows)
+    small = timing.access_time_ns(Tile(256, 256), page_bits, rows)
+    assert 0.30 <= small / base <= 0.45
+
+
+@given(DIMS, DIMS)
+def test_latency_monotonic_in_tile_dims(rows, cols):
+    small = timing.access_time_ns(Tile(rows, cols), 4096, 8192)
+    bigger_rows = timing.access_time_ns(Tile(rows * 2, cols), 4096, 8192)
+    bigger_cols = timing.access_time_ns(Tile(rows, cols * 2), 4096, 8192)
+    assert bigger_rows > small
+    assert bigger_cols > small
+
+
+def test_bitline_dominates_wordline():
+    """Bitline sensing is slower than wordline drive for equal spans
+    (k_bitline > k_wordline)."""
+    t = Tile(512, 512)
+    assert timing.bitline_delay_ns(t) > timing.wordline_delay_ns(t)
+
+
+def test_longer_pages_are_slower():
+    a = timing.access_time_ns(Tile(256, 256), 4096, 8192)
+    b = timing.access_time_ns(Tile(256, 256), 65536, 8192)
+    assert b > a
+
+
+def test_deeper_banks_are_slower():
+    a = timing.access_time_ns(Tile(256, 256), 4096, 1024)
+    b = timing.access_time_ns(Tile(256, 256), 4096, 65536)
+    assert b > a
+
+
+def test_stacked_adds_tsv_delay():
+    flat = timing.access_time_ns(Tile(256, 256), 4096, 8192)
+    stacked = timing.access_time_ns(Tile(256, 256), 4096, 8192,
+                                    stacked=True)
+    assert stacked > flat
+
+
+def test_decoder_rejects_bad_rows():
+    with pytest.raises(ValueError):
+        timing.decoder_delay_ns(0)
+
+
+def test_gwl_rejects_bad_page():
+    with pytest.raises(ValueError):
+        timing.global_wordline_delay_ns(0)

@@ -1,0 +1,66 @@
+"""Energy model (Table III, Fig. 13)."""
+
+import pytest
+
+from repro.cores.perf_model import CoreParams
+from repro.energy.model import EnergyModel, EnergyBreakdown
+from repro.sim.config import HierarchyConfig
+from repro.sim.system import System
+
+
+def run_small(kind):
+    config = HierarchyConfig(
+        name="e", num_cores=4, scale=1,
+        l1_size_bytes=4096, l1_ways=4,
+        llc_kind=kind,
+        llc_size_bytes=64 * 1024,
+        llc_ways=4 if kind == "shared" else 16,
+        llc_latency=5 if kind == "shared" else 23,
+        memory_queueing=False)
+    s = System(config, [CoreParams()] * 4)
+    for b in range(100):
+        s.access(b % 4, b, False, False)
+    return s
+
+
+def test_shared_llc_energy_uses_sram_numbers():
+    s = run_small("shared")
+    bd = EnergyModel().breakdown(s)
+    assert bd.llc_dynamic_nj == pytest.approx(s.llc_accesses * 0.25)
+    assert bd.llc_static_w == pytest.approx(4 * 0.030)
+
+
+def test_vault_energy_uses_dram_numbers():
+    s = run_small("private_vault")
+    bd = EnergyModel().breakdown(s)
+    assert bd.llc_dynamic_nj == pytest.approx(s.llc_accesses * 0.40)
+    assert bd.llc_static_w == pytest.approx(4 * 0.120)
+
+
+def test_memory_dynamic_counts_reads_and_writes():
+    s = run_small("shared")
+    bd = EnergyModel().breakdown(s)
+    assert bd.memory_dynamic_nj == pytest.approx(
+        s.memory.accesses * 20.0)
+
+
+def test_total_and_power_helpers():
+    bd = EnergyBreakdown(llc_dynamic_nj=100.0, memory_dynamic_nj=300.0,
+                         llc_static_w=1.0, memory_static_w=4.0)
+    assert bd.total_dynamic_nj == pytest.approx(400.0)
+    # 1 second: static = 5 J = 5e9 nJ
+    assert bd.total_energy_nj(1.0) == pytest.approx(400.0 + 5e9)
+    assert bd.llc_power_w(1.0) == pytest.approx(1.0 + 100e-9)
+    with pytest.raises(ValueError):
+        bd.llc_power_w(0.0)
+
+
+def test_silo_spends_more_llc_energy_but_less_memory():
+    """Fig. 13's mechanism: SILO has pricier LLC accesses but far fewer
+    memory accesses at equal traffic."""
+    shared = run_small("shared")
+    silo = run_small("private_vault")
+    m = EnergyModel()
+    assert (m.breakdown(silo).llc_dynamic_nj / max(1, silo.llc_accesses)
+            > m.breakdown(shared).llc_dynamic_nj
+            / max(1, shared.llc_accesses))

@@ -1,0 +1,186 @@
+"""Experiment harness smoke tests at miniature scale.
+
+These run real experiments with aggressive scaling (tiny caches and
+footprints) and minimal sampling so the whole module stays fast; they
+check structure and first-order direction, not calibrated magnitudes.
+"""
+
+import pytest
+
+from repro.sim.sampling import SamplingPlan
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import geomean, render_table, resolve_plan
+from repro.experiments.sensitivity import fig1_capacity, fig2_latency
+from repro.experiments.sharing import fig3_breakdown, fig4_rw_latency
+from repro.experiments.technology import (fig7_tile_sweep, fig8_vault_space,
+                                          table1_design_points,
+                                          derived_vault_cycles)
+from repro.experiments.performance import fig10_scaleout, fig11_hit_breakdown
+from repro.experiments.optimizations import fig12_optimizations
+from repro.experiments.energy import fig13_energy
+from repro.experiments.isolation import table6_isolation
+
+TINY = SamplingPlan(3000, 1500)
+SCALE = 512
+
+
+def test_registry_covers_every_paper_artifact():
+    assert set(EXPERIMENTS) >= {
+        "fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "table1",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+        "table6"}
+    assert "fig12x" in EXPERIMENTS  # extension: realistic optimizations
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, -1.0])
+
+
+def test_render_table():
+    out = render_table([{"a": 1.23456, "b": "x"}], title="T")
+    assert "T" in out and "1.235" in out and "x" in out
+    assert "(empty)" in render_table([], title="T")
+
+
+def test_resolve_plan_explicit_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_SAMPLING", "full")
+    assert resolve_plan(TINY) is TINY
+
+
+def test_fig1_rows_structure():
+    rows = fig1_capacity(plan=TINY, scale=SCALE,
+                         workloads=["web_search"],
+                         capacities_mb=(8, 256))
+    assert len(rows) == 2
+    assert rows[0]["normalized_performance"] == pytest.approx(1.0)
+    assert rows[1]["capacity_mb"] == 256
+
+
+def test_fig2_latency_monotonic():
+    rows = fig2_latency(plan=TINY, scale=SCALE, capacities_mb=(256,),
+                        increases=(0.0, 0.5, 1.0))
+    perfs = [r["normalized_performance"] for r in rows]
+    assert perfs == sorted(perfs, reverse=True)
+
+
+def test_fig3_percentages_sum_to_100():
+    rows = fig3_breakdown(plan=TINY, scale=SCALE,
+                          workloads=["web_search"])
+    r = rows[0]
+    total = (r["reads_pct"] + r["writes_nosharing_pct"]
+             + r["writes_rwsharing_pct"])
+    assert total == pytest.approx(100.0)
+
+
+def test_fig4_degrades_with_multiplier():
+    rows = fig4_rw_latency(plan=TINY, scale=SCALE,
+                           workloads=["data_serving"])
+    perfs = [r["normalized_performance"] for r in rows]
+    assert perfs[0] == pytest.approx(1.0)
+    assert all(b <= a + 1e-9 for a, b in zip(perfs, perfs[1:]))
+
+
+def test_fig7_has_five_tile_points():
+    rows = fig7_tile_sweep()
+    assert len(rows) == 5
+    assert rows[0]["norm_latency"] == pytest.approx(1.0)
+
+
+def test_fig8_has_selected_points():
+    rows = fig8_vault_space()
+    selected = {r["selected"] for r in rows if r["selected"]}
+    assert selected == {"latency-optimized", "capacity-optimized"}
+    assert any(r["pareto"] for r in rows)
+
+
+def test_table1_metrics():
+    rows = {r["metric"]: r for r in table1_design_points()}
+    assert rows["access_latency"]["capacity_optimized"] == \
+        pytest.approx(1.8, abs=0.2)
+    assert rows["capacity_mb"]["latency_optimized"] >= 256
+
+
+def test_derived_vault_cycles_near_table_ii():
+    d = derived_vault_cycles()
+    assert abs(d["latency_optimized_total_cycles"] - 23) <= 3
+    assert abs(d["capacity_optimized_total_cycles"] - 32) <= 3
+
+
+def test_fig10_silo_beats_baseline_on_mapreduce():
+    rows = fig10_scaleout(plan=TINY, scale=SCALE,
+                          systems=("baseline", "silo"),
+                          workloads=["mapreduce"])
+    by_system = {r["system"]: r["normalized_performance"]
+                 for r in rows if r["workload"] == "MapReduce"}
+    assert by_system["SILO"] > by_system["Baseline"]
+
+
+def test_fig11_fractions_sum_to_one():
+    rows = fig11_hit_breakdown(plan=TINY, scale=SCALE,
+                               workloads=["web_search"])
+    for r in rows:
+        assert (r["local_hits"] + r["remote_hits"]
+                + r["offchip_misses"]) == pytest.approx(1.0)
+    silo = [r for r in rows if r["system"] == "SILO"][0]
+    base = [r for r in rows if r["system"] == "Baseline"][0]
+    assert silo["offchip_misses"] < base["offchip_misses"]
+
+
+def test_fig12_opts_never_hurt():
+    rows = fig12_optimizations(plan=TINY, scale=SCALE,
+                               workloads=["web_search"])
+    perf = {r["variant"]: r["normalized_performance"] for r in rows}
+    assert perf["NoOpt"] == pytest.approx(1.0)
+    assert perf["LocalMP+DirCache"] >= perf["LocalMP"] - 1e-9
+    assert perf["LocalMP+DirCache"] >= perf["DirCache"] - 1e-9
+
+
+def test_fig13_silo_cuts_memory_energy():
+    rows = fig13_energy(plan=TINY, scale=SCALE, workloads=["mapreduce"])
+    by_system = {r["system"]: r for r in rows}
+    assert by_system["Baseline"]["total_dynamic"] == pytest.approx(1.0)
+    assert (by_system["SILO"]["memory_dynamic"]
+            < by_system["Baseline"]["memory_dynamic"])
+
+
+def test_table6_isolation_direction():
+    rows = table6_isolation(plan=TINY, scale=SCALE)
+    alone = rows[0]
+    coloc = rows[1]
+    assert alone["shared_llc"] == pytest.approx(1.0)
+    # colocation hurts the shared LLC more than SILO
+    shared_drop = alone["shared_llc"] - coloc["shared_llc"]
+    silo_drop = alone["silo"] - coloc["silo"]
+    assert shared_drop > silo_drop - 0.02
+
+
+def test_fig14_enterprise_structure():
+    from repro.experiments.performance import fig14_enterprise
+    rows = fig14_enterprise(plan=TINY, scale=SCALE,
+                            systems=("baseline", "silo"))
+    workloads = {r["workload"] for r in rows}
+    assert workloads == {"TPCC", "Oracle", "Zeus", "Geomean"}
+
+
+def test_fig15_single_mix():
+    from repro.experiments.mixes import fig15_spec_mixes
+    rows = fig15_spec_mixes(plan=TINY, scale=SCALE, mixes=["mix3"])
+    assert rows[0]["mix"] == "mix3"
+    assert rows[0]["apps"] == "mcf-zeusmp-calculix-lbm"
+    assert rows[0]["silo_speedup"] > 0
+    assert rows[-1]["mix"] == "geomean"
+
+
+def test_fig16_three_level_structure():
+    from repro.experiments.performance import fig16_three_level
+    rows = fig16_three_level(plan=TINY, scale=SCALE,
+                             workloads=["mapreduce"])
+    systems = {r["system"] for r in rows}
+    assert systems == {"3level-SRAM", "3level-eDRAM", "3level-SILO"}
+    sram = [r for r in rows if r["system"] == "3level-SRAM"
+            and r["workload"] == "MapReduce"][0]
+    assert sram["normalized_performance"] == 1.0

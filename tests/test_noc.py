@@ -1,0 +1,87 @@
+"""Mesh topology and timing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.topology import mesh_side, node_coords, xy_hops
+from repro.noc.mesh import Mesh2D
+
+NODE16 = st.integers(min_value=0, max_value=15)
+
+
+def test_mesh_side():
+    assert mesh_side(16) == 4
+    assert mesh_side(4) == 2
+
+
+def test_mesh_side_rejects_non_square():
+    with pytest.raises(ValueError):
+        mesh_side(12)
+
+
+def test_node_coords_row_major():
+    assert node_coords(0, 4) == (0, 0)
+    assert node_coords(5, 4) == (1, 1)
+    assert node_coords(15, 4) == (3, 3)
+
+
+def test_node_coords_bounds():
+    with pytest.raises(ValueError):
+        node_coords(16, 4)
+
+
+@given(NODE16, NODE16)
+def test_hops_symmetric(a, b):
+    assert xy_hops(a, b, 4) == xy_hops(b, a, 4)
+
+
+@given(NODE16, NODE16, NODE16)
+def test_hops_triangle_inequality(a, b, c):
+    assert xy_hops(a, c, 4) <= xy_hops(a, b, 4) + xy_hops(b, c, 4)
+
+
+@given(NODE16)
+def test_hops_zero_to_self(a):
+    assert xy_hops(a, a, 4) == 0
+
+
+def test_corner_to_corner_hops():
+    assert xy_hops(0, 15, 4) == 6
+
+
+def test_average_round_trip_matches_paper():
+    """Sec. VI-A: 23-cycle average LLC round trip with 5-cycle banks;
+    41 cycles with 23-cycle vaults (Vaults-Sh)."""
+    mesh = Mesh2D(16, hop_latency=3)
+    assert mesh.average_round_trip(5) == pytest.approx(23.0)
+    assert mesh.average_round_trip(23) == pytest.approx(41.0)
+
+
+def test_round_trip_includes_injection_overhead():
+    mesh = Mesh2D(16)
+    assert mesh.round_trip(0, 0) == Mesh2D.INJECTION_OVERHEAD
+    assert mesh.round_trip(0, 15) == Mesh2D.INJECTION_OVERHEAD + 2 * 6 * 3
+
+
+def test_memory_ports_are_corners():
+    mesh = Mesh2D(16)
+    assert mesh.memory_ports == [0, 3, 12, 15]
+
+
+def test_nearest_memory_port():
+    mesh = Mesh2D(16)
+    assert mesh.nearest_memory_port(0) == 0
+    assert mesh.nearest_memory_port(5) in (0, 3, 12)
+
+
+def test_link_traversal_accounting():
+    mesh = Mesh2D(16)
+    mesh.reset_stats()
+    mesh.latency(0, 15)
+    assert mesh.link_traversals == 6
+
+
+def test_four_node_mesh():
+    mesh = Mesh2D(4)
+    assert mesh.side == 2
+    assert mesh.hops(0, 3) == 2

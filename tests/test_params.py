@@ -1,0 +1,53 @@
+"""Unit conversions and Table II/III constants."""
+
+import pytest
+
+from repro import params as P
+
+
+def test_cycle_conversion_round_trip():
+    assert P.ns_to_cycles(50.0) == 100
+    assert P.ns_to_cycles(40.0) == 80
+    assert P.cycles_to_ns(23) == pytest.approx(11.5)
+
+
+def test_ns_per_cycle_matches_frequency():
+    assert P.NS_PER_CYCLE == pytest.approx(1.0 / P.CORE_FREQ_GHZ)
+
+
+def test_silo_latency_composition():
+    # Table II: 11 (array) + 8 (serialization) + 4 (controller) = 23
+    assert (P.SILO_VAULT_RAW_LATENCY + P.SILO_SERIALIZATION_LATENCY
+            + P.SILO_CONTROLLER_LATENCY) == P.SILO_VAULT_TOTAL_LATENCY
+    assert (P.SILO_CO_VAULT_RAW_LATENCY + P.SILO_SERIALIZATION_LATENCY
+            + P.SILO_CONTROLLER_LATENCY) == P.SILO_CO_VAULT_TOTAL_LATENCY
+
+
+def test_silo_vault_latency_is_11_5ns():
+    # Sec. I: "an 11.5ns access latency to a core's private in-DRAM LLC"
+    assert P.cycles_to_ns(P.SILO_VAULT_TOTAL_LATENCY) == pytest.approx(11.5)
+
+
+def test_memory_latencies():
+    assert P.MEMORY_LATENCY == 100           # 50 ns at 2 GHz
+    assert P.TRAD_DRAM_CACHE_LATENCY == 80   # 40 ns: 20% faster
+
+
+def test_capacity_constants():
+    assert P.BASELINE_LLC_SIZE_BYTES == 8 * P.MB
+    assert P.SILO_VAULT_SIZE_BYTES == 256 * P.MB
+    assert P.SILO_CO_VAULT_SIZE_BYTES == 512 * P.MB
+    assert P.TRAD_DRAM_CACHE_SIZE_BYTES == 8 * P.GB
+
+
+def test_block_geometry():
+    assert P.BLOCK_BYTES == 1 << P.BLOCK_SHIFT
+
+
+def test_energy_constants_table_iii():
+    assert P.SRAM_LLC_STATIC_W_PER_BANK == pytest.approx(0.030)
+    assert P.SRAM_LLC_DYNAMIC_NJ_PER_ACCESS == pytest.approx(0.25)
+    assert P.VAULT_STATIC_W == pytest.approx(0.120)
+    assert P.VAULT_DYNAMIC_NJ_PER_ACCESS == pytest.approx(0.40)
+    assert P.MEMORY_STATIC_W == pytest.approx(4.0)
+    assert P.MEMORY_DYNAMIC_NJ_PER_ACCESS == pytest.approx(20.0)

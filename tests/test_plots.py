@@ -1,0 +1,72 @@
+"""Text chart rendering."""
+
+import pytest
+
+from repro.experiments.plots import bar_chart, line_chart, chart_for
+
+
+def test_bar_chart_renders_values():
+    out = bar_chart([{"w": "A", "v": 1.0}, {"w": "B", "v": 2.0}],
+                    ("w",), "v", title="T")
+    assert "T" in out
+    assert "2.000" in out
+    # B's bar is twice A's
+    a_line = [l for l in out.splitlines() if l.startswith("A")][0]
+    b_line = [l for l in out.splitlines() if l.startswith("B")][0]
+    assert b_line.count("#") > a_line.count("#")
+
+
+def test_bar_chart_baseline_marker():
+    out = bar_chart([{"w": "A", "v": 0.5}], ("w",), "v", baseline=1.0)
+    assert "|" in out
+
+
+def test_bar_chart_empty():
+    assert "(empty)" in bar_chart([], ("w",), "v", title="T")
+
+
+def test_line_chart_draws_all_series():
+    out = line_chart({"a": [(0, 0.0), (1, 1.0)],
+                      "b": [(0, 1.0), (1, 0.0)]}, title="L")
+    assert "L" in out
+    assert "*" in out and "o" in out
+    assert "a" in out and "b" in out
+
+
+def test_line_chart_axis_range_labels():
+    out = line_chart({"a": [(8, 1.0), (1024, 1.3)]})
+    assert "8" in out and "1024" in out
+    assert "1.300" in out and "1.000" in out
+
+
+def test_line_chart_flat_series():
+    out = line_chart({"a": [(0, 1.0), (1, 1.0)]})
+    assert "*" in out
+
+
+def test_line_chart_empty():
+    assert "(empty)" in line_chart({}, title="L")
+
+
+@pytest.mark.parametrize("experiment,rows", [
+    ("fig1", [{"workload": "W", "capacity_mb": 8,
+               "normalized_performance": 1.0}]),
+    ("fig2", [{"capacity_mb": 64, "latency_increase_pct": 0,
+               "normalized_performance": 1.0}]),
+    ("fig4", [{"workload": "W", "rw_latency_multiplier": 1.0,
+               "normalized_performance": 1.0}]),
+    ("fig8", [{"capacity_mb": 256, "latency_ns": 5.0, "pareto": True,
+               "selected": ""}]),
+    ("fig10", [{"workload": "W", "system": "SILO",
+                "normalized_performance": 1.2}]),
+    ("fig15", [{"mix": "mix1", "silo_speedup": 1.1}]),
+    ("fig12", [{"workload": "W", "variant": "NoOpt",
+                "normalized_performance": 1.0}]),
+])
+def test_chart_for_known_experiments(experiment, rows):
+    assert chart_for(experiment, rows) is not None
+
+
+def test_chart_for_unknown_returns_none():
+    assert chart_for("table1", [{"metric": "x"}]) is None
+    assert chart_for("fig1", []) is None

@@ -1,0 +1,68 @@
+"""Stride prefetcher."""
+
+import pytest
+
+from repro.caches.prefetcher import StridePrefetcher
+
+
+def test_detects_unit_stride():
+    pf = StridePrefetcher()
+    preds = [pf.observe(b) for b in range(100, 106)]
+    # first: new stream; second: stride learned; third: confidence;
+    # fourth onward: predictions
+    assert preds[0] is None and preds[1] is None
+    assert preds[3] == 104
+    assert preds[5] == 106
+
+
+def test_detects_negative_stride():
+    pf = StridePrefetcher()
+    preds = [pf.observe(b) for b in (50, 48, 46, 44)]
+    assert preds[-1] == 42
+
+
+def test_ignores_large_strides():
+    pf = StridePrefetcher(max_stride=4)
+    preds = [pf.observe(b) for b in (0, 100, 200, 300)]
+    assert all(p is None for p in preds)
+
+
+def test_stride_change_resets_confidence():
+    pf = StridePrefetcher()
+    for b in (0, 1, 2, 3):
+        pf.observe(b)
+    assert pf.observe(5) is None  # stride changed 1 -> 2
+    pf.observe(7)
+    assert pf.observe(9) == 11    # re-learned
+
+
+def test_separate_streams_tracked_independently():
+    pf = StridePrefetcher(region_shift=12)
+    a = [0, 1, 2, 3]
+    b = [1 << 13, (1 << 13) + 2, (1 << 13) + 4, (1 << 13) + 6]
+    for xa, xb in zip(a, b):
+        pa = pf.observe(xa)
+        pb = pf.observe(xb)
+    assert pa == 4
+    assert pb == (1 << 13) + 8
+
+
+def test_table_eviction_bounds_state():
+    pf = StridePrefetcher(table_entries=4, region_shift=12)
+    for stream in range(10):
+        pf.observe(stream << 12)
+    assert len(pf._table) <= 4
+
+
+def test_issued_counter():
+    pf = StridePrefetcher()
+    for b in range(10):
+        pf.observe(b)
+    assert pf.issued > 0
+    pf.reset()
+    assert pf.issued == 0 and not pf._table
+
+
+def test_rejects_bad_table():
+    with pytest.raises(ValueError):
+        StridePrefetcher(table_entries=0)

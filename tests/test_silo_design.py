@@ -1,0 +1,46 @@
+"""SiloDesign: the DRAM-technology-to-system derivation."""
+
+import pytest
+
+from repro import params as P
+from repro.core.silo import SiloDesign
+
+
+@pytest.fixture(scope="module")
+def design():
+    return SiloDesign.from_technology()
+
+
+@pytest.fixture(scope="module")
+def co_design():
+    return SiloDesign.from_technology(capacity_optimized=True)
+
+
+def test_latency_optimized_matches_table_ii(design):
+    """The derived vault latency should land on the paper's 23 cycles
+    (11 raw + 8 serialization + 4 controller) within tolerance."""
+    assert design.matches_table_ii()
+    assert abs(design.vault_raw_latency_cycles
+               - P.SILO_VAULT_RAW_LATENCY) <= 2
+
+
+def test_capacity_optimized_matches_table_ii(co_design):
+    assert co_design.matches_table_ii(capacity_optimized=True)
+    assert abs(co_design.vault_raw_latency_cycles
+               - P.SILO_CO_VAULT_RAW_LATENCY) <= 2
+
+
+def test_derived_capacities(design, co_design):
+    assert design.vault_capacity_bytes >= 256 * P.MB
+    assert co_design.vault_capacity_bytes > 1.5 * design.vault_capacity_bytes
+
+
+def test_hierarchy_config_uses_derived_values(design):
+    c = design.hierarchy_config()
+    assert c.llc_kind == "private_vault"
+    assert c.llc_size_bytes == design.vault_capacity_bytes
+    assert c.llc_latency == design.vault_total_latency_cycles
+
+
+def test_description_is_informative(design):
+    assert "banks" in design.design_description

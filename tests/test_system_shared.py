@@ -1,0 +1,163 @@
+"""Shared-LLC (baseline) system: access paths, latencies, MESI."""
+
+import pytest
+
+from repro.coherence.states import SHARED, EXCLUSIVE, MODIFIED
+from repro.cores.perf_model import (CoreParams, LEVEL_LLC_LOCAL,
+                                    LEVEL_LLC_REMOTE, LEVEL_MEMORY,
+                                    LEVEL_DRAM_CACHE)
+from repro.sim.config import HierarchyConfig
+from repro.sim.system import System
+
+
+def make_system(cores=4, dram_cache=None, l2=None, queueing=False):
+    config = HierarchyConfig(
+        name="test", num_cores=cores, scale=1,
+        l1_size_bytes=4096, l1_ways=4,
+        l2_size_bytes=l2,
+        llc_kind="shared", llc_size_bytes=64 * 1024, llc_ways=4,
+        llc_latency=5,
+        dram_cache_bytes=dram_cache,
+        memory_queueing=queueing)
+    return System(config, [CoreParams()] * cores)
+
+
+def test_l1_hit_costs_zero():
+    s = make_system()
+    s.access(0, 100, False, False)
+    assert s.access(0, 100, False, False) == 0
+
+
+def test_first_access_goes_to_memory():
+    s = make_system()
+    lat = s.access(0, 100, False, False)
+    # LLC round trip + memory: must exceed the raw memory latency
+    assert lat > 100
+    assert s.memory.reads == 1
+
+
+def test_llc_hit_after_peer_fill():
+    s = make_system()
+    s.access(0, 100, False, False)
+    lat = s.access(1, 100, False, False)
+    # served on chip: no new memory read, latency ~ LLC round trip
+    assert s.memory.reads == 1
+    assert 5 <= lat <= 40
+
+
+def test_mesi_exclusive_then_shared():
+    s = make_system()
+    s.access(0, 100, False, False)
+    assert s.l1d[0].lookup(100) == EXCLUSIVE
+    s.access(1, 100, False, False)
+    assert s.l1d[1].lookup(100) == SHARED
+    assert s.sharer_table.sharers(100) == 0b11
+
+
+def test_write_invalidates_peer_l1s():
+    s = make_system()
+    s.access(0, 100, False, False)
+    s.access(1, 100, False, False)
+    s.access(2, 100, True, False)
+    assert s.l1d[2].lookup(100) == MODIFIED
+    assert s.l1d[0].lookup(100) is None
+    assert s.l1d[1].lookup(100) is None
+    assert s.invalidations >= 2
+    assert s.sharer_table.sharers(100) == 0b100
+
+
+def test_silent_upgrade_from_exclusive():
+    s = make_system()
+    s.access(0, 100, False, False)
+    inv_before = s.invalidations
+    s.access(0, 100, True, False)     # E -> M, no traffic
+    assert s.l1d[0].lookup(100) == MODIFIED
+    assert s.invalidations == inv_before
+
+
+def test_dirty_peer_forwards_and_downgrades():
+    s = make_system()
+    s.access(0, 100, True, False)     # core0 holds M
+    lat = s.access(1, 100, False, False)
+    assert s.l1d[0].lookup(100) == SHARED
+    assert s.remote_forwards == 1
+    # dirty data reached the LLC on the downgrade
+    assert s.llc.lookup(100, touch=False) is True
+    assert lat > 5
+
+
+def test_remote_forward_recorded_as_remote_level():
+    s = make_system()
+    s.access(0, 100, True, False)
+    s.access(1, 100, False, False)
+    assert s.cores[1].data_count[LEVEL_LLC_REMOTE] == 1
+
+
+def test_ifetch_fills_l1i_not_l1d():
+    s = make_system()
+    s.access(0, 200, False, True)
+    assert s.l1i[0].contains(200)
+    assert not s.l1d[0].contains(200)
+
+
+def test_l1_dirty_eviction_writes_back_to_llc():
+    s = make_system()
+    s.access(0, 0, True, False)
+    # evict block 0's set: L1 4 ways, 16 sets -> same set every 16
+    for i in range(1, 6):
+        s.access(0, i * 16, False, False)
+    assert not s.l1d[0].contains(0)
+    assert s.llc.lookup(0, touch=False) is True  # dirty in LLC
+    assert s.l1_writebacks >= 1
+
+
+def test_non_inclusive_llc_eviction_keeps_l1():
+    """LLC victim does not back-invalidate L1 copies (non-inclusive)."""
+    s = make_system()
+    s.access(0, 100, False, False)
+    # thrash the LLC set of block 100 (bank interleave = 4 cores)
+    bank_sets = s.llc.banks[0].num_sets
+    stride = 4 * bank_sets
+    for i in range(1, 8):
+        s.access(1, 100 + i * stride, False, False)
+    assert s.l1d[0].contains(100)
+
+
+def test_dram_cache_path():
+    s = make_system(dram_cache=1 << 20)
+    s.access(0, 100, False, False)         # miss: fills DRAM$ page
+    # new block, same page -> DRAM$ hit
+    lat = s.access(1, 101, False, False)
+    assert s.cores[1].data_count[LEVEL_DRAM_CACHE] == 1
+    assert s.memory.reads == 1
+
+
+def test_memory_level_recorded():
+    s = make_system()
+    s.access(0, 100, False, False)
+    assert s.cores[0].data_count[LEVEL_MEMORY] == 1
+
+
+def test_l2_hit_path():
+    s = make_system(l2=16 * 1024)
+    s.access(0, 100, False, False)
+    s.l1d[0].invalidate(100)       # drop from L1, keep in L2
+    s.sharer_table.remove_sharer(100, 0)
+    lat = s.access(0, 100, False, False)
+    assert lat == s.l2_latency
+
+
+def test_llc_access_energy_counter():
+    s = make_system()
+    before = s.llc_accesses
+    s.access(0, 100, False, False)
+    assert s.llc_accesses > before
+
+
+def test_reset_stats_clears_counters():
+    s = make_system()
+    s.access(0, 100, True, False)
+    s.reset_stats()
+    assert s.llc_accesses == 0
+    assert s.memory.accesses == 0
+    assert s.cores[0].instructions == 0

@@ -1,0 +1,82 @@
+"""Property tests for the 3-level hierarchies (Sec. VII-F systems)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence.states import MODIFIED
+from repro.cores.perf_model import CoreParams
+from repro.sim.config import HierarchyConfig
+from repro.sim.system import System
+
+ACCESS = st.tuples(
+    st.integers(min_value=0, max_value=3),     # core
+    st.integers(min_value=0, max_value=95),    # block
+    st.booleans(),                             # write
+    st.integers(min_value=0, max_value=9),     # 10% ifetch
+)
+
+
+def make(kind):
+    config = HierarchyConfig(
+        name="three", num_cores=4, scale=1,
+        l1_size_bytes=4096, l1_ways=4,
+        l2_size_bytes=8 * 1024, l2_ways=4,
+        llc_kind=kind,
+        llc_size_bytes=64 * 64 if kind == "private_vault" else 128 * 64,
+        llc_ways=4 if kind == "shared" else 16,
+        llc_latency=23 if kind == "private_vault" else 7,
+        memory_queueing=False)
+    return System(config, [CoreParams()] * 4)
+
+
+def _check_l1_in_l2(s):
+    for c in range(s.num_cores):
+        for b, _st in s.l1d[c].blocks():
+            assert s.l2[c].contains(b), \
+                "L1D block %d of core %d missing from L2" % (b, c)
+
+
+def _check_l2_in_vault(s):
+    for c in range(s.num_cores):
+        for b, _st in s.l2[c].blocks():
+            assert s.vaults[c].contains(b), \
+                "L2 block %d of core %d missing from vault" % (b, c)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(ACCESS, min_size=1, max_size=200))
+def test_three_level_silo_inclusion_chain(accesses):
+    """L1 contents are a subset of L2 which is a subset of the vault."""
+    s = make("private_vault")
+    for core, block, write, kind in accesses:
+        if kind == 0:
+            s.access(core, 1000 + block, False, True)
+        else:
+            s.access(core, block, write, False)
+        _check_l1_in_l2(s)
+        _check_l2_in_vault(s)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(ACCESS, min_size=1, max_size=200))
+def test_three_level_shared_single_writer(accesses):
+    """At most one private hierarchy holds a dirty copy of any block."""
+    s = make("shared")
+    for core, block, write, kind in accesses:
+        if kind == 0:
+            s.access(core, 1000 + block, False, True)
+        else:
+            s.access(core, block, write, False)
+        dirty_holders = [c for c in range(4)
+                         if s.l1d[c].lookup(block, touch=False)
+                         == MODIFIED]
+        assert len(dirty_holders) <= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(ACCESS, min_size=1, max_size=150))
+def test_three_level_latencies_nonnegative(accesses):
+    for kind in ("shared", "private_vault"):
+        s = make(kind)
+        for core, block, write, k in accesses:
+            lat = s.access(core, block, write and k != 0, k == 0)
+            assert lat >= 0

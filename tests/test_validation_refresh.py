@@ -1,0 +1,59 @@
+"""Cross-validation experiment and DRAM refresh model."""
+
+import pytest
+
+from repro.sim.sampling import SamplingPlan
+from repro.experiments.validation import (validate_hit_rates,
+                                          validate_technology_link)
+from repro.dram.refresh import refresh_overhead, RefreshOverhead
+from repro.dram.die import DieOrganization
+from repro.dram.tile import Tile
+from repro.dram.sweep import sweep_vault_designs, latency_optimized_point
+
+
+def test_analytic_bounds_simulated_hit_rates():
+    """The analytic model is an upper bound; the simulator should land
+    below it but within a sane band (both describe the same machine)."""
+    rows = validate_hit_rates(plan=SamplingPlan(8000, 4000), scale=256,
+                              workloads=["web_search", "sat_solver"])
+    for r in rows:
+        assert r["simulated"] <= r["analytic_upper_bound"] + 0.05, r
+        assert r["gap"] < 0.35, r
+
+
+def test_technology_link_matches_table_ii():
+    rows = validate_technology_link()
+    assert all(r["matches"] for r in rows)
+    silo = [r for r in rows if r["design"] == "SILO"][0]
+    assert abs(silo["derived_total_cycles"] - 23) <= 3
+
+
+def test_refresh_negligible_for_latency_optimized_vault():
+    lo = latency_optimized_point(sweep_vault_designs())
+    oh = refresh_overhead(lo.die)
+    assert oh.is_negligible
+    assert oh.bank_busy_fraction < 0.01
+
+
+def test_refresh_scales_with_rows():
+    small = DieOrganization(banks=16, page_bytes=512, tile=Tile(128, 128),
+                            subarrays_per_bank=4)
+    big = DieOrganization(banks=16, page_bytes=512, tile=Tile(128, 128),
+                          subarrays_per_bank=64)
+    assert (refresh_overhead(big).bank_busy_fraction
+            > refresh_overhead(small).bank_busy_fraction)
+    assert (refresh_overhead(big).refresh_interval_us
+            < refresh_overhead(small).refresh_interval_us)
+
+
+def test_refresh_power_positive():
+    die = DieOrganization(banks=8, page_bytes=1024, tile=Tile(256, 256),
+                          subarrays_per_bank=8)
+    oh = refresh_overhead(die)
+    assert oh.refresh_power_mw_per_die > 0
+    assert isinstance(oh, RefreshOverhead)
+
+
+def test_refresh_rejects_non_die():
+    with pytest.raises(TypeError):
+        refresh_overhead("nope")

@@ -1,0 +1,105 @@
+"""Victim Replication (D-NUCA comparison point, Sec. VIII)."""
+
+import pytest
+
+from repro.cores.perf_model import CoreParams, LEVEL_LLC_LOCAL
+from repro.sim.config import HierarchyConfig
+from repro.sim.system import System
+from repro.noc.mesh import Mesh2D
+
+
+def make(vr=True):
+    config = HierarchyConfig(
+        name="vr", num_cores=4, scale=1,
+        l1_size_bytes=4096, l1_ways=4,
+        llc_kind="shared", llc_size_bytes=64 * 1024, llc_ways=4,
+        llc_latency=5, victim_replication=vr,
+        memory_queueing=False)
+    return System(config, [CoreParams()] * 4)
+
+
+def _evict_from_l1(s, core, block):
+    """Push ``block`` out of the core's L1 set with clean fills."""
+    for i in range(1, 6):
+        s.access(core, block + i * 16, False, False)
+    assert not s.l1d[core].contains(block)
+
+
+def test_clean_victim_becomes_local_replica():
+    s = make()
+    # block 1 is homed in bank 1; touch it from core 0 then evict it
+    s.access(0, 1, False, False)
+    _evict_from_l1(s, 0, 1)
+    assert s.llc.banks[0].contains(1)   # replica in core 0's bank
+
+
+def test_replica_hit_avoids_mesh():
+    s = make()
+    s.access(0, 1, False, False)
+    _evict_from_l1(s, 0, 1)
+    links_before = s.mesh.link_traversals
+    lat = s.access(0, 1, False, False)  # replica hit
+    assert s.replica_hits == 1
+    assert s.mesh.link_traversals == links_before
+    assert lat == Mesh2D.INJECTION_OVERHEAD + s.llc.bank_latency
+
+
+def test_dirty_victims_are_not_replicated():
+    s = make()
+    s.access(0, 1, True, False)
+    _evict_from_l1(s, 0, 1)
+    assert not s.llc.banks[0].contains(1)
+    assert s.llc.banks[1].contains(1)  # went home via writeback
+
+
+def test_write_invalidates_replicas():
+    s = make()
+    s.access(0, 1, False, False)
+    _evict_from_l1(s, 0, 1)
+    assert s.llc.banks[0].contains(1)
+    s.access(2, 1, True, False)         # another core writes the block
+    assert not s.llc.banks[0].contains(1)
+
+
+def test_replica_hit_recorded_as_local_level():
+    s = make()
+    s.access(0, 1, False, False)
+    _evict_from_l1(s, 0, 1)
+    before = s.cores[0].data_count[LEVEL_LLC_LOCAL]
+    s.access(0, 1, False, False)
+    assert s.cores[0].data_count[LEVEL_LLC_LOCAL] == before + 1
+
+
+def test_home_bank_blocks_not_replicated():
+    """A block homed in the requester's own bank needs no replica."""
+    s = make()
+    s.access(0, 0, False, False)        # block 0 homes in bank 0
+    _evict_from_l1(s, 0, 0)
+    # present once (home copy), not duplicated
+    assert s.llc.banks[0].contains(0)
+
+
+def test_vr_requires_shared_org():
+    with pytest.raises(ValueError):
+        HierarchyConfig(llc_kind="private_vault",
+                        victim_replication=True)
+
+
+def test_vr_never_loses_coherence():
+    """Random-ish mixed traffic: replicas must never serve a block that
+    was since written elsewhere (checked via the invalidation path:
+    after any write, no stale replica exists)."""
+    s = make()
+    import random
+    rng = random.Random(9)
+    for _ in range(400)    :
+        core = rng.randrange(4)
+        block = rng.randrange(48)
+        write = rng.random() < 0.3
+        s.access(core, block, write, False)
+        if write:
+            home = s.llc.bank_of(block)
+            for b, bank in enumerate(s.llc.banks):
+                if b != home:
+                    assert not bank.contains(block), \
+                        "stale replica of %d in bank %d" % (block, b)

@@ -1,0 +1,69 @@
+"""Analytic workload characterization and its agreement with intent."""
+
+import pytest
+
+from repro.params import MB
+from repro.workloads.analysis import (scaled_footprints,
+                                      region_cacheability,
+                                      max_data_hit_fraction,
+                                      capacity_sweep,
+                                      working_set_summary)
+from repro.workloads.base import RegionSpec
+from repro.workloads.scaleout import (WEB_SEARCH, DATA_SERVING,
+                                      SCALEOUT_WORKLOADS)
+
+
+def test_scaled_footprints_private_aggregates_cores():
+    fp = scaled_footprints(WEB_SEARCH, num_cores=16, scale=64)
+    per_core = scaled_footprints(WEB_SEARCH, num_cores=1, scale=64)
+    assert fp["heap"] == 16 * per_core["heap"]
+    assert fp["code"] == per_core["code"]  # shared
+
+
+def test_scan_cacheability_is_all_or_nothing():
+    scan = RegionSpec("s", 1.0, "scan", "partitioned", 1.0)
+    assert region_cacheability(scan, 100, 99) == 1.0
+    assert region_cacheability(scan, 100, 101) == 0.0
+
+
+def test_uniform_cacheability_is_proportional():
+    cold = RegionSpec("c", 1.0, "uniform", "shared", 1.0)
+    assert region_cacheability(cold, 50, 100) == pytest.approx(0.5)
+    assert region_cacheability(cold, 200, 100) == 1.0
+
+
+def test_zipf_cacheability_uses_che():
+    z = RegionSpec("z", 1.0, "zipf", "shared", 1.0, alpha=0.8)
+    low = region_cacheability(z, 10, 1000)
+    high = region_cacheability(z, 500, 1000)
+    assert 0 < low < high <= 1.0
+
+
+def test_hit_fraction_monotonic_in_capacity():
+    sweeps = capacity_sweep(DATA_SERVING)
+    vals = [r["max_data_hit_fraction"] for r in sweeps]
+    assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+    assert 0 < vals[0] < 1
+
+
+def test_web_search_knee_is_late():
+    """The analytic model must agree with the Fig. 1 intent: Web
+    Search's big capacity step arrives at 1 GB (the index region)."""
+    caps = {r["capacity_mb"]: r["max_data_hit_fraction"]
+            for r in capacity_sweep(WEB_SEARCH,
+                                    capacities_mb=(64, 256, 512, 1024))}
+    assert caps[1024] - caps[512] > caps[512] - caps[64]
+
+
+def test_every_workload_has_irreducible_misses():
+    """Cold tails keep even a 4 GB LLC from a 100% hit rate."""
+    for spec in SCALEOUT_WORKLOADS.values():
+        assert max_data_hit_fraction(spec, 4096 * MB) < 0.995
+
+
+def test_summary_lists_all_regions():
+    rows = working_set_summary(WEB_SEARCH)
+    names = {r["region"] for r in rows}
+    assert names == {"code", "hot", "index", "heap", "rw", "cold"}
+    fracs = [r["ref_fraction"] for r in rows if r["ref_fraction"]]
+    assert abs(sum(fracs) - 1.0) < 1e-9

@@ -1,0 +1,128 @@
+"""Workload model data types and catalog sanity."""
+
+import pytest
+
+from repro.cores.perf_model import CoreParams
+from repro.workloads.base import CodeSpec, RegionSpec, WorkloadSpec
+from repro.workloads.scaleout import SCALEOUT_WORKLOADS
+from repro.workloads.enterprise import ENTERPRISE_WORKLOADS
+from repro.workloads.spec import SPEC_APPS, SPEC_MIXES, spec_mix, spec_app
+from repro.workloads.scaleout import scaleout_workload
+from repro.workloads.enterprise import enterprise_workload
+
+
+def region(**kw):
+    base = dict(name="r", size_mb=1.0, pattern="zipf", sharing="shared",
+                fraction=1.0, alpha=0.5)
+    base.update(kw)
+    return RegionSpec(**base)
+
+
+def spec_of(regions, rw=""):
+    return WorkloadSpec(name="w", code=CodeSpec(1.0), regions=regions,
+                        core=CoreParams(), rw_shared_region=rw)
+
+
+def test_region_validation():
+    with pytest.raises(ValueError):
+        region(pattern="bogus")
+    with pytest.raises(ValueError):
+        region(sharing="bogus")
+    with pytest.raises(ValueError):
+        region(size_mb=0)
+    with pytest.raises(ValueError):
+        region(fraction=1.5)
+    with pytest.raises(ValueError):
+        region(write_fraction=-0.1)
+
+
+def test_code_validation():
+    with pytest.raises(ValueError):
+        CodeSpec(size_mb=0)
+    with pytest.raises(ValueError):
+        CodeSpec(size_mb=1.0, run_blocks=0)
+
+
+def test_fractions_must_sum_to_one():
+    with pytest.raises(ValueError):
+        spec_of((region(fraction=0.5),))
+    spec_of((region(fraction=0.5), region(name="r2", fraction=0.5)))
+
+
+def test_duplicate_region_names_rejected():
+    with pytest.raises(ValueError):
+        spec_of((region(fraction=0.5), region(fraction=0.5)))
+
+
+def test_rw_region_must_exist():
+    with pytest.raises(ValueError):
+        spec_of((region(),), rw="nope")
+
+
+def test_region_lookup():
+    s = spec_of((region(),))
+    assert s.region("r").name == "r"
+    with pytest.raises(KeyError):
+        s.region("missing")
+
+
+def test_overall_write_fraction():
+    s = spec_of((region(fraction=0.5, write_fraction=0.4),
+                 region(name="r2", fraction=0.5, write_fraction=0.0)))
+    assert s.overall_write_fraction() == pytest.approx(0.2)
+
+
+# -- catalogs --------------------------------------------------------------
+
+def test_scaleout_catalog_complete():
+    assert set(SCALEOUT_WORKLOADS) == {"web_search", "data_serving",
+                                       "web_frontend", "mapreduce",
+                                       "sat_solver"}
+
+
+def test_every_scaleout_workload_well_formed():
+    for spec in SCALEOUT_WORKLOADS.values():
+        assert abs(sum(r.fraction for r in spec.regions) - 1) < 1e-9
+        assert spec.rw_shared_region == "rw"
+        assert spec.core.mlp >= 1.0
+
+
+def test_enterprise_catalog():
+    assert set(ENTERPRISE_WORKLOADS) == {"tpcc", "oracle", "zeus"}
+    for spec in ENTERPRISE_WORKLOADS.values():
+        assert abs(sum(r.fraction for r in spec.regions) - 1) < 1e-9
+
+
+def test_spec_mixes_are_table_v():
+    assert len(SPEC_MIXES) == 10
+    assert SPEC_MIXES["mix1"] == ("sjeng", "calculix", "mcf", "omnetpp")
+    assert SPEC_MIXES["mix10"] == ("omnetpp", "zeusmp", "soplex", "povray")
+    for apps in SPEC_MIXES.values():
+        assert len(apps) == 4
+        for a in apps:
+            assert a in SPEC_APPS
+
+
+def test_spec_mix_lookup():
+    specs = spec_mix("mix3")
+    assert [s.name for s in specs] == ["spec_mcf", "spec_zeusmp",
+                                       "spec_calculix", "spec_lbm"]
+    with pytest.raises(KeyError):
+        spec_mix("mix99")
+
+
+def test_lookup_helpers_raise_keyerror():
+    with pytest.raises(KeyError):
+        scaleout_workload("nope")
+    with pytest.raises(KeyError):
+        enterprise_workload("nope")
+    with pytest.raises(KeyError):
+        spec_app("nope")
+
+
+def test_memory_intensive_apps_have_more_ws_traffic():
+    """mcf/lbm must leave the hot region far more often than gamess."""
+    def ws_frac(name):
+        return SPEC_APPS[name].region("ws").fraction
+    assert ws_frac("mcf") > 4 * ws_frac("gamess")
+    assert ws_frac("lbm") > 4 * ws_frac("povray")
