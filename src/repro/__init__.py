@@ -16,6 +16,7 @@ Quickstart::
 
 from repro.sim import (HierarchyConfig, System, RunResult, run_system,
                        simulate, SamplingPlan)
+from repro.obs import EventTracer, observe
 from repro.core.systems import system_config, SYSTEM_LABELS
 from repro.core.silo import SiloDesign
 from repro.workloads import (scaleout_workload, enterprise_workload,
@@ -33,5 +34,6 @@ __all__ = [
     "scaleout_workload", "enterprise_workload", "spec_app", "spec_mix",
     "generate_traces", "generate_colocation_traces", "WorkloadSpec",
     "RegionSpec", "CodeSpec", "EnergyModel", "CoreParams",
+    "EventTracer", "observe",
     "__version__",
 ]

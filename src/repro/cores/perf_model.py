@@ -24,6 +24,8 @@ without re-simulating.
 
 from dataclasses import dataclass
 
+from repro.obs.stats import Distribution
+
 # Service levels an access can be satisfied at.
 LEVEL_L1 = 0
 LEVEL_L2 = 1
@@ -70,6 +72,11 @@ class CoreModel:
         self.ifetch_count = [0] * NUM_LEVELS
         self.rw_shared_latency = 0.0
         self.rw_shared_count = 0
+        # Exposed-latency histograms per service level (L1 hits return
+        # before reaching record_*, so these cover L1 misses -- the
+        # accesses whose latency the core actually sees).
+        self.latency_hist = [Distribution("latency", desc=name)
+                             for name in LEVEL_NAMES]
 
     def retire(self, instructions):
         """Account for ``instructions`` retired instructions."""
@@ -78,6 +85,7 @@ class CoreModel:
     def record_data(self, level, latency, rw_shared=False):
         self.data_latency[level] += latency
         self.data_count[level] += 1
+        self.latency_hist[level].record(latency)
         if rw_shared:
             self.rw_shared_latency += latency
             self.rw_shared_count += 1
@@ -85,6 +93,7 @@ class CoreModel:
     def record_ifetch(self, level, latency):
         self.ifetch_latency[level] += latency
         self.ifetch_count[level] += 1
+        self.latency_hist[level].record(latency)
 
     # -- performance evaluation -------------------------------------------
 
@@ -127,3 +136,26 @@ class CoreModel:
         self.ifetch_count = [0] * NUM_LEVELS
         self.rw_shared_latency = 0.0
         self.rw_shared_count = 0
+        for h in self.latency_hist:
+            h.reset()
+
+    def register_stats(self, group):
+        """Register this core's statistics under ``group`` (counters
+        are views; resetting goes through :meth:`reset` so the lists
+        and histograms stay the objects the hot path writes to)."""
+        group.bind(self, "instructions", desc="instructions retired",
+                   resettable=False)
+        for lvl, name in enumerate(LEVEL_NAMES):
+            g = group.group(name.lower())
+            g.callback("data_count",
+                       lambda c=self, l=lvl: c.data_count[l],
+                       desc="data accesses satisfied here")
+            g.callback("ifetch_count",
+                       lambda c=self, l=lvl: c.ifetch_count[l],
+                       desc="ifetches satisfied here")
+            g.callback("data_latency",
+                       lambda c=self, l=lvl: c.data_latency[l],
+                       desc="summed exposed data latency (cycles)")
+            g.add(self.latency_hist[lvl])
+        group.on_reset(self.reset)
+        return group

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.experiments fig10
     python -m repro.experiments fig1 --sampling quick --scale 128
+    python -m repro.experiments fig10 --sampling 40000:15000
+    python -m repro.experiments fig3 --stats --trace 4096 --manifest out/
     silo-repro table6
 """
 
@@ -13,22 +15,35 @@ import time
 
 from repro.experiments import EXPERIMENTS
 from repro.experiments.common import render_table
-from repro.sim.sampling import PRESETS
+from repro.obs import manifest as obs_manifest
+from repro.obs import session as obs_session
+from repro.sim.sampling import PRESETS, parse_plan
+
+
+def _sampling_arg(spec):
+    """argparse type for --sampling: preset name or warmup:measure."""
+    try:
+        return parse_plan(spec)
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(str(e)) from None
 
 
 def main(argv=None):
     """Parse arguments, run the requested experiment, print its table
-    (and optional chart/JSON); returns the process exit code."""
+    (and optional chart/JSON/stats/trace/manifest); returns the process
+    exit code."""
     parser = argparse.ArgumentParser(
         prog="silo-repro",
         description="Reproduce a figure/table from the SILO paper "
                     "(MICRO'18).")
     parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
                         help="experiment id (see DESIGN.md)")
-    parser.add_argument("--sampling", choices=sorted(PRESETS),
-                        default=None,
-                        help="sampling plan (default: $REPRO_SAMPLING or "
-                             "'standard')")
+    parser.add_argument("--sampling", type=_sampling_arg, default=None,
+                        metavar="PLAN",
+                        help="sampling plan: %s or a custom "
+                             "'warmup:measure' event pair (default: "
+                             "$REPRO_SAMPLING or 'standard')"
+                             % "/".join(sorted(PRESETS)))
     parser.add_argument("--scale", type=int, default=64,
                         help="capacity/footprint scale divisor "
                              "(default 64)")
@@ -37,8 +52,22 @@ def main(argv=None):
                         help="render an ASCII chart after the table "
                              "(where the experiment has one)")
     parser.add_argument("--json", action="store_true",
-                        help="emit rows as JSON instead of a table")
+                        help="emit {experiment, elapsed_s, rows} as "
+                             "JSON instead of a table")
+    parser.add_argument("--stats", action="store_true",
+                        help="dump the full stats registry tree of the "
+                             "last simulated system")
+    parser.add_argument("--trace", type=int, default=0, metavar="N",
+                        help="trace coherence/directory/eviction events "
+                             "into an N-entry ring; prints a summary "
+                             "and the last few events")
+    parser.add_argument("--manifest", default=None, metavar="DIR",
+                        help="write a JSON run-provenance manifest "
+                             "(config, seed, git sha, wall clock, "
+                             "events/sec, latency percentiles) to DIR")
     args = parser.parse_args(argv)
+    if args.trace < 0:
+        parser.error("--trace must be positive")
 
     func = EXPERIMENTS[args.experiment]
     kwargs = {}
@@ -48,27 +77,60 @@ def main(argv=None):
     elif args.experiment not in no_sim:
         kwargs = {"scale": args.scale, "seed": args.seed}
         if args.sampling is not None:
-            kwargs["plan"] = PRESETS[args.sampling]
+            kwargs["plan"] = args.sampling
 
     start = time.time()
-    rows = func(**kwargs)
+    with obs_session.observe(trace_capacity=args.trace,
+                             collect_manifests=args.manifest is not None,
+                             collect_stats=args.stats) as session:
+        rows = func(**kwargs)
     elapsed = time.time() - start
+
     if args.json:
         import json
-        print(json.dumps(rows, indent=2, default=str))
-        return 0
-    shown = rows
-    if args.experiment == "fig8":
-        # the scatter is large; show the frontier and selected points
-        shown = [r for r in rows if r["pareto"] or r["selected"]]
-    print(render_table(shown, title="%s (%.1fs)" % (args.experiment,
-                                                    elapsed)))
+        print(json.dumps({"experiment": args.experiment,
+                          "elapsed_s": elapsed, "rows": rows},
+                         indent=2, default=str))
+    else:
+        shown = rows
+        if args.experiment == "fig8":
+            # the scatter is large; show the frontier + selected points
+            shown = [r for r in rows if r["pareto"] or r["selected"]]
+        print(render_table(shown, title="%s (%.1fs)" % (args.experiment,
+                                                        elapsed)))
     if args.chart:
         from repro.experiments.plots import chart_for
         chart = chart_for(args.experiment, rows)
         if chart:
             print()
             print(chart)
+
+    if args.stats:
+        print()
+        if session.last_system is not None:
+            print("# stats registry (last simulated system)")
+            print(session.last_system.stats.dump())
+        else:
+            print("# stats: experiment ran no simulation")
+    if args.trace and session.last_tracer is not None:
+        print()
+        print("# trace summary: %s" % session.last_tracer.summary())
+        for ev in session.last_tracer.events()[-10:]:
+            print("#   %s" % (ev,))
+    if args.manifest is not None:
+        data = {
+            "schema": obs_manifest.MANIFEST_SCHEMA,
+            "experiment": args.experiment,
+            "created_unix": time.time(),
+            "elapsed_s": elapsed,
+            "git_sha": obs_manifest.git_sha(),
+            "argv": list(argv) if argv is not None else sys.argv[1:],
+            "runs": session.runs,
+        }
+        path = obs_manifest.write_manifest(
+            data, args.manifest, "%s-manifest" % args.experiment)
+        print()
+        print("manifest: %s (%d runs)" % (path, len(session.runs)))
     return 0
 
 

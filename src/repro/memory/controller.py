@@ -69,3 +69,15 @@ class ClosedPageController:
         self.accesses = 0
         self.conflicts = 0
         self._window_start = self._latest_now
+
+    def register_stats(self, group):
+        """Register controller statistics under ``group``.  The stats
+        are views; the owning model's reset hook calls :meth:`reset`
+        (which also restarts the utilization window)."""
+        group.bind(self, "accesses", desc="bank accesses",
+                   resettable=False)
+        group.bind(self, "conflicts", desc="accesses delayed >= 1 cycle",
+                   resettable=False)
+        group.formula("utilization", self.utilization,
+                      desc="measured bank utilization")
+        return group

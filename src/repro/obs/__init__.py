@@ -1,0 +1,39 @@
+"""Observability: hierarchical statistics, event tracing, provenance.
+
+Three pieces, modelled on mature simulation stacks (gem5's stats
+framework in particular):
+
+* :mod:`repro.obs.stats` -- a hierarchical registry of named statistics
+  (counters, latency distributions, derived formulas) that every
+  subsystem registers into.  ``System.stats`` is the root group;
+  ``snapshot()`` exports the whole tree, ``reset()`` zeroes it (this is
+  what ``System.reset_stats`` delegates to after warmup).
+* :mod:`repro.obs.trace` -- an optional event tracer (bounded ring
+  buffer plus pluggable sinks) for coherence transitions, directory
+  lookups, invalidation/downgrade flows and vault evictions.  Costs one
+  ``is not None`` check per site when disabled.
+* :mod:`repro.obs.manifest` -- run-provenance manifests: JSON artifacts
+  capturing config, seed, git sha, sampling plan, wall clock,
+  events/sec and exposed-latency percentiles for every run.
+
+:mod:`repro.obs.session` ties them to the CLI: a context manager that
+the run driver consults so ``--stats/--trace/--manifest`` flags reach
+simulations started deep inside experiment functions.
+"""
+
+from repro.obs.stats import (Stat, Counter, BoundStat, Formula,
+                             Distribution, Group)
+from repro.obs.trace import (EventTracer, TraceEvent, JsonlSink,
+                             EV_COHERENCE, EV_DIRECTORY, EV_INVALIDATE,
+                             EV_DOWNGRADE, EV_EVICTION)
+from repro.obs.manifest import git_sha, write_manifest, MANIFEST_SCHEMA
+from repro.obs.session import observe, current_session
+
+__all__ = [
+    "Stat", "Counter", "BoundStat", "Formula", "Distribution", "Group",
+    "EventTracer", "TraceEvent", "JsonlSink",
+    "EV_COHERENCE", "EV_DIRECTORY", "EV_INVALIDATE", "EV_DOWNGRADE",
+    "EV_EVICTION",
+    "git_sha", "write_manifest", "MANIFEST_SCHEMA",
+    "observe", "current_session",
+]

@@ -1,0 +1,62 @@
+"""Run-provenance manifests.
+
+A manifest is a JSON artifact that makes an experiment run
+reproducible after the fact: which code (git sha), which configuration
+(full :class:`HierarchyConfig`), which inputs (seed, scale, sampling
+plan), how the simulator behaved (warmup/measure wall clock,
+events/sec) and what it observed (per-level exposed-latency
+percentiles, optional full stats snapshot).
+
+``RunResult.manifest()`` builds the per-run record;
+:func:`write_manifest` serializes one (or an experiment-level envelope
+of many) next to the text tables in ``benchmarks/results`` or any
+directory the CLI's ``--manifest DIR`` names.
+"""
+
+import json
+import os
+import subprocess
+
+MANIFEST_SCHEMA = "silo-repro-manifest/1"
+
+_SHA_CACHE = {}
+
+
+def git_sha(repo_dir=None):
+    """The current git commit sha, or None outside a repository.
+    Cached per directory (manifests may be built once per run)."""
+    if repo_dir is None:
+        repo_dir = os.path.dirname(os.path.abspath(__file__))
+    if repo_dir in _SHA_CACHE:
+        return _SHA_CACHE[repo_dir]
+    _SHA_CACHE[repo_dir] = sha = _git_sha_uncached(repo_dir)
+    return sha
+
+
+def _git_sha_uncached(repo_dir):
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=repo_dir,
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.decode("ascii", "replace").strip()
+    return sha or None
+
+
+def write_manifest(data, directory, name):
+    """Write ``data`` as ``<directory>/<name>.json``; returns the path.
+
+    The directory is created if needed; non-JSON-native values (e.g.
+    dataclasses already converted via ``asdict``, numpy scalars) fall
+    back to ``str``.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name + ".json")
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=False, default=str)
+        f.write("\n")
+    return path

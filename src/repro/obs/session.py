@@ -1,0 +1,69 @@
+"""Observation sessions: how CLI flags reach nested simulations.
+
+Experiment functions call :func:`repro.sim.driver.simulate` many levels
+below the CLI, so ``--stats/--trace/--manifest`` cannot be threaded
+through their signatures without touching every experiment.  Instead
+the CLI opens an :class:`ObservationSession` (a context manager setting
+a module-level current session); ``run_system`` consults it to attach a
+tracer before driving and to deposit a per-run manifest record after.
+
+Sessions are inert by construction: they only *read* simulator state
+(plus attach a tracer, which itself only records), so enabling one
+never changes simulation results.
+"""
+
+from contextlib import contextmanager
+
+
+class ObservationSession:
+    """Collects what the CLI asked to observe across an experiment."""
+
+    def __init__(self, trace_capacity=0, collect_manifests=False,
+                 collect_stats=False):
+        self.trace_capacity = trace_capacity
+        self.collect_manifests = collect_manifests
+        self.collect_stats = collect_stats
+        self.runs = []            # per-run manifest dicts
+        self.last_system = None
+        self.last_tracer = None
+
+    @property
+    def active(self):
+        return (self.trace_capacity > 0 or self.collect_manifests
+                or self.collect_stats)
+
+    def attach(self, system):
+        """Give ``system`` a tracer if tracing was requested."""
+        if self.trace_capacity > 0 and system.tracer is None:
+            from repro.obs.trace import EventTracer
+            system.attach_tracer(EventTracer(self.trace_capacity))
+
+    def note_run(self, result, seed=None):
+        """Record one finished run (called by ``run_system``)."""
+        self.last_system = result.system
+        self.last_tracer = result.system.tracer
+        if self.collect_manifests:
+            self.runs.append(result.manifest(seed=seed))
+
+
+_current = None
+
+
+def current_session():
+    """The active session, or None when nothing is observing."""
+    return _current
+
+
+@contextmanager
+def observe(trace_capacity=0, collect_manifests=False,
+            collect_stats=False):
+    """Open an observation session for the duration of the block."""
+    global _current
+    session = ObservationSession(trace_capacity, collect_manifests,
+                                 collect_stats)
+    prev = _current
+    _current = session
+    try:
+        yield session
+    finally:
+        _current = prev

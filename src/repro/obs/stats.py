@@ -1,0 +1,317 @@
+"""Hierarchical statistics registry (gem5-style).
+
+A :class:`Group` holds named leaf statistics and sub-groups; the root
+group of a :class:`~repro.sim.system.System` spans every modelled
+subsystem (cores, caches, coherence, noc, memory, energy).  Leaves come
+in four kinds:
+
+* :class:`Counter` -- a value the registry owns (``incr``).
+* :class:`BoundStat` -- a *view* over state another object owns (e.g.
+  ``System.llc_accesses``).  Binding views instead of moving the
+  counters keeps the existing attribute API -- and the hot-path cost of
+  ``self.llc_accesses += 1`` -- exactly as it was.
+* :class:`Distribution` -- a log2-bucketed histogram with approximate
+  percentiles, used for exposed-latency distributions.
+* :class:`Formula` -- a derived value computed on demand (rates,
+  energies); formulas are never reset.
+
+``Group.snapshot()`` exports the tree as nested plain dicts (JSON
+ready); ``Group.reset()`` zeroes every resettable leaf and runs any
+registered reset hooks (for stats state that is not a plain attribute,
+like the sharing-classification dicts); ``Group.dump()`` renders the
+gem5-style flat listing.
+"""
+
+KIND_COUNTER = "counter"
+KIND_DIST = "distribution"
+KIND_FORMULA = "formula"
+
+
+class Stat:
+    """Base class: a named leaf statistic."""
+
+    kind = KIND_COUNTER
+
+    def __init__(self, name, desc=""):
+        if not name or "." in name:
+            raise ValueError("stat name must be non-empty and dot-free, "
+                             "got %r" % (name,))
+        self.name = name
+        self.desc = desc
+
+    def value(self):
+        raise NotImplementedError
+
+    def reset(self):
+        """Zero the statistic (no-op for derived stats)."""
+
+    def __repr__(self):
+        return "<%s %s=%r>" % (type(self).__name__, self.name,
+                               self.value())
+
+
+class Counter(Stat):
+    """A registry-owned integer counter."""
+
+    def __init__(self, name, desc=""):
+        super().__init__(name, desc)
+        self._value = 0
+
+    def incr(self, n=1):
+        self._value += n
+
+    def value(self):
+        return self._value
+
+    def reset(self):
+        self._value = 0
+
+
+class BoundStat(Stat):
+    """A view over state owned elsewhere.
+
+    ``getter`` produces the current value; ``resetter`` (optional)
+    zeroes the underlying state.  A stat without a resetter relies on
+    its group's reset hooks (e.g. ``MainMemory.reset_stats``) to clear
+    the state it reads.
+    """
+
+    def __init__(self, name, getter, resetter=None, desc=""):
+        super().__init__(name, desc)
+        self._get = getter
+        self._reset = resetter
+
+    @classmethod
+    def attr(cls, owner, attr, name=None, desc="", resettable=True):
+        """Bind to ``owner.<attr>`` (reset writes 0 back)."""
+        getter = lambda: getattr(owner, attr)
+        resetter = ((lambda: setattr(owner, attr, 0))
+                    if resettable else None)
+        return cls(name or attr, getter, resetter, desc)
+
+    def value(self):
+        return self._get()
+
+    def reset(self):
+        if self._reset is not None:
+            self._reset()
+
+
+class Formula(Stat):
+    """A derived statistic computed on demand; never reset."""
+
+    kind = KIND_FORMULA
+
+    def __init__(self, name, fn, desc=""):
+        super().__init__(name, desc)
+        self._fn = fn
+
+    def value(self):
+        return self._fn()
+
+
+class Distribution(Stat):
+    """Log2-bucketed histogram with approximate percentiles.
+
+    Samples land in bucket ``int(x).bit_length()`` (0, 1, 2-3, 4-7,
+    ...), so percentile estimates carry at most one octave of error --
+    plenty for latency distributions spanning 0 to a few thousand
+    cycles -- at O(1) record cost and O(buckets) memory.
+    """
+
+    kind = KIND_DIST
+
+    def __init__(self, name, desc="", max_bucket=24):
+        super().__init__(name, desc)
+        self.max_bucket = max_bucket
+        self.buckets = [0] * (max_bucket + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def record(self, x):
+        b = int(x).bit_length()
+        if b > self.max_bucket:
+            b = self.max_bucket
+        self.buckets[b] += 1
+        self.count += 1
+        self.total += x
+        if self.min is None or x < self.min:
+            self.min = x
+        if self.max is None or x > self.max:
+            self.max = x
+
+    def merge(self, other):
+        """Fold another distribution's samples into this one."""
+        if other.max_bucket != self.max_bucket:
+            raise ValueError("bucket layouts differ")
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+        return self
+
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p):
+        """Approximate p-th percentile (upper edge of the bucket
+        holding the p-th sample, clamped to the observed max)."""
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        seen = 0
+        for b, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank and n:
+                upper = 0 if b == 0 else (1 << b) - 1
+                if self.max is not None:
+                    upper = min(upper, self.max)
+                if self.min is not None:
+                    upper = max(upper, self.min)
+                return float(upper)
+        return float(self.max or 0.0)
+
+    def value(self):
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "min": self.min if self.min is not None else 0,
+            "max": self.max if self.max is not None else 0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def reset(self):
+        self.buckets = [0] * (self.max_bucket + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+
+class Group:
+    """A named node in the stats tree."""
+
+    def __init__(self, name, desc=""):
+        self.name = name
+        self.desc = desc
+        self._children = {}     # name -> Stat | Group (insertion order)
+        self._reset_hooks = []
+
+    # -- registration --------------------------------------------------
+
+    def add(self, child):
+        """Register a :class:`Stat` or sub-:class:`Group`."""
+        if child.name in self._children:
+            raise ValueError("duplicate stat name %r under %r"
+                             % (child.name, self.name))
+        self._children[child.name] = child
+        return child
+
+    def group(self, name, desc=""):
+        """Get or create the named sub-group."""
+        existing = self._children.get(name)
+        if existing is not None:
+            if not isinstance(existing, Group):
+                raise ValueError("%r is a leaf stat, not a group" % name)
+            return existing
+        return self.add(Group(name, desc))
+
+    def counter(self, name, desc=""):
+        return self.add(Counter(name, desc))
+
+    def bind(self, owner, attr, name=None, desc="", resettable=True):
+        """Register a view over ``owner.<attr>``."""
+        return self.add(BoundStat.attr(owner, attr, name, desc,
+                                       resettable))
+
+    def callback(self, name, fn, reset=None, desc=""):
+        """Register a view over an arbitrary getter."""
+        return self.add(BoundStat(name, fn, reset, desc))
+
+    def formula(self, name, fn, desc=""):
+        return self.add(Formula(name, fn, desc))
+
+    def distribution(self, name, desc="", max_bucket=24):
+        return self.add(Distribution(name, desc, max_bucket))
+
+    def on_reset(self, hook):
+        """Run ``hook()`` on every reset (for stats state that is not a
+        simple attribute: owner ``reset_stats`` methods, dict clears)."""
+        self._reset_hooks.append(hook)
+        return hook
+
+    # -- access --------------------------------------------------------
+
+    def __iter__(self):
+        return iter(self._children.values())
+
+    def __contains__(self, name):
+        return name in self._children
+
+    def find(self, path):
+        """Look up ``"a.b.c"`` relative to this group."""
+        node = self
+        for part in path.split("."):
+            if not isinstance(node, Group) or part not in node._children:
+                raise KeyError("no stat %r under %r" % (path, self.name))
+            node = node._children[part]
+        return node
+
+    def walk(self, prefix=None):
+        """Yield ``(dotted_path, leaf_stat)`` for every leaf."""
+        base = self.name if prefix is None else prefix
+        for child in self._children.values():
+            path = "%s.%s" % (base, child.name)
+            if isinstance(child, Group):
+                yield from child.walk(path)
+            else:
+                yield path, child
+
+    # -- export / lifecycle --------------------------------------------
+
+    def snapshot(self):
+        """The whole subtree as nested plain dicts."""
+        out = {}
+        for name, child in self._children.items():
+            out[name] = (child.snapshot() if isinstance(child, Group)
+                         else child.value())
+        return out
+
+    def reset(self):
+        """Zero every resettable leaf, then run reset hooks."""
+        for child in self._children.values():
+            child.reset()
+        for hook in self._reset_hooks:
+            hook()
+
+    def dump(self):
+        """gem5-style flat listing: ``path  value  # desc``."""
+        lines = []
+        for path, stat in self.walk():
+            v = stat.value()
+            if isinstance(v, dict):
+                rendered = " ".join("%s=%s" % (k, _fmt(x))
+                                    for k, x in v.items())
+            else:
+                rendered = _fmt(v)
+            line = "%-46s %s" % (path, rendered)
+            if stat.desc:
+                line = "%-70s # %s" % (line, stat.desc)
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def _fmt(v):
+    if isinstance(v, float):
+        return "%.4f" % v
+    return str(v)

@@ -1,0 +1,115 @@
+"""Optional event tracer: bounded ring buffer plus pluggable sinks.
+
+The simulator never constructs a tracer on its own -- ``System.tracer``
+is ``None`` until ``System.attach_tracer`` is called, so the disabled
+cost is one ``is not None`` check per instrumented site.  When enabled,
+each event is a small immutable record kept in a ``deque(maxlen=...)``
+(old events fall off the back) and offered to every registered sink.
+
+Event kinds
+-----------
+``coherence``       a line's coherence state changed (upgrades, fills)
+``directory``       a duplicate-tag / sharer-table directory lookup
+``invalidate``      a peer copy was invalidated
+``downgrade``       a MOESI/MESI supplier downgrade (M->O / M->S)
+``vault_eviction``  a direct-mapped vault evicted its set resident
+"""
+
+import json
+from collections import deque
+from typing import NamedTuple, Optional
+
+EV_COHERENCE = "coherence"
+EV_DIRECTORY = "directory"
+EV_INVALIDATE = "invalidate"
+EV_DOWNGRADE = "downgrade"
+EV_EVICTION = "vault_eviction"
+
+EVENT_KINDS = (EV_COHERENCE, EV_DIRECTORY, EV_INVALIDATE, EV_DOWNGRADE,
+               EV_EVICTION)
+
+
+class TraceEvent(NamedTuple):
+    """One traced simulator event."""
+
+    kind: str
+    cycle: float
+    core: int            # acting core (or home node for directory)
+    block: int
+    detail: Optional[str] = None
+
+    def to_dict(self):
+        d = {"kind": self.kind, "cycle": self.cycle, "core": self.core,
+             "block": self.block}
+        if self.detail is not None:
+            d["detail"] = self.detail
+        return d
+
+
+class EventTracer:
+    """Ring buffer of :class:`TraceEvent` with per-kind counts."""
+
+    def __init__(self, capacity=4096, kinds=None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self._ring = deque(maxlen=capacity)
+        self._sinks = []
+        self.emitted = 0
+        self.counts = {}
+
+    def add_sink(self, sink):
+        """Register a callable invoked with every accepted event."""
+        self._sinks.append(sink)
+        return sink
+
+    def emit(self, kind, cycle, core, block, detail=None):
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        ev = TraceEvent(kind, cycle, core, block, detail)
+        self._ring.append(ev)
+        self.emitted += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        for sink in self._sinks:
+            sink(ev)
+
+    def events(self):
+        """The retained (most recent) events, oldest first."""
+        return list(self._ring)
+
+    @property
+    def dropped(self):
+        """Events emitted but no longer retained in the ring."""
+        return self.emitted - len(self._ring)
+
+    def summary(self):
+        """Per-kind emit counts plus ring occupancy."""
+        return {"emitted": self.emitted, "retained": len(self._ring),
+                "dropped": self.dropped,
+                "by_kind": dict(sorted(self.counts.items()))}
+
+    def clear(self):
+        self._ring.clear()
+        self.emitted = 0
+        self.counts = {}
+
+
+class JsonlSink:
+    """Sink writing one JSON object per event to a file."""
+
+    def __init__(self, path):
+        self.path = path
+        self._f = open(path, "w")
+
+    def __call__(self, event):
+        self._f.write(json.dumps(event.to_dict()) + "\n")
+
+    def close(self):
+        self._f.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -6,7 +6,7 @@ and statistics."""
 from repro.sim.config import HierarchyConfig
 from repro.sim.system import System
 from repro.sim.driver import RunResult, run_system, simulate
-from repro.sim.sampling import SamplingPlan
+from repro.sim.sampling import SamplingPlan, parse_plan
 
 __all__ = ["HierarchyConfig", "System", "RunResult", "run_system",
-           "simulate", "SamplingPlan"]
+           "simulate", "SamplingPlan", "parse_plan"]

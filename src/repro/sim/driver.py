@@ -8,12 +8,16 @@ local clock -- base CPI plus its exposed stall cycles -- which also
 timestamps memory-controller bank occupancy.
 """
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import asdict, dataclass, field
 from typing import List, Optional
 
 from repro.cores.perf_model import (
-    NUM_LEVELS, LEVEL_LLC_LOCAL, LEVEL_LLC_REMOTE, LEVEL_DRAM_CACHE,
-    LEVEL_MEMORY)
+    NUM_LEVELS, LEVEL_NAMES, LEVEL_LLC_LOCAL, LEVEL_LLC_REMOTE,
+    LEVEL_DRAM_CACHE, LEVEL_MEMORY)
+from repro.obs import manifest as _manifest
+from repro.obs import session as _obs_session
+from repro.obs.stats import Distribution
 from repro.sim.system import System
 
 DEFAULT_CHUNK = 200
@@ -70,6 +74,11 @@ class RunResult:
     system: System
     measure_events: int
     core_ids: List[int] = field(default_factory=list)
+    # Self-profiling throughput meter: wall-clock seconds spent driving
+    # each phase (simulator time, not simulated time).
+    warmup_wall_s: float = 0.0
+    measure_wall_s: float = 0.0
+    warmup_events: int = 0
 
     # -- performance -------------------------------------------------------
 
@@ -135,11 +144,70 @@ class RunResult:
         _, _, miss = self.llc_breakdown()
         return 1000.0 * miss / instrs
 
+    # -- observability -----------------------------------------------------
+
+    def driven_events(self):
+        """References driven through the system during measurement."""
+        return self.measure_events * len(self.core_ids)
+
+    def events_per_sec(self):
+        """Simulator throughput during the measurement phase."""
+        if self.measure_wall_s <= 0:
+            return 0.0
+        return self.driven_events() / self.measure_wall_s
+
+    def latency_percentiles(self):
+        """Per-level exposed-latency percentiles over the driven cores
+        (merged histograms; levels with no samples are omitted)."""
+        out = {}
+        for lvl, name in enumerate(LEVEL_NAMES):
+            merged = Distribution("latency", desc=name)
+            for c in self.core_ids:
+                merged.merge(self.system.cores[c].latency_hist[lvl])
+            if merged.count:
+                out[name] = merged.value()
+        return out
+
+    def stats_snapshot(self):
+        """The system's full stats registry as nested dicts."""
+        return self.system.stats.snapshot()
+
+    def manifest(self, seed=None, include_stats=False):
+        """Run-provenance record: config, inputs, wall clock,
+        throughput and latency percentiles (see repro.obs.manifest)."""
+        sys_ = self.system
+        data = {
+            "schema": _manifest.MANIFEST_SCHEMA,
+            "git_sha": _manifest.git_sha(),
+            "config": asdict(sys_.config),
+            "scale": sys_.config.scale,
+            "seed": seed,
+            "sampling": {"warmup_events": self.warmup_events,
+                         "measure_events": self.measure_events},
+            "wall_clock": {"warmup_s": self.warmup_wall_s,
+                           "measure_s": self.measure_wall_s},
+            "throughput": {"driven_events": self.driven_events(),
+                           "events_per_sec": self.events_per_sec()},
+            "performance": self.performance(),
+            "latency_percentiles": self.latency_percentiles(),
+        }
+        if sys_.tracer is not None:
+            data["trace"] = sys_.tracer.summary()
+        if include_stats:
+            data["stats"] = self.stats_snapshot()
+        return data
+
 
 def run_system(system, traces, warmup_events, measure_events,
-               chunk=DEFAULT_CHUNK):
+               chunk=DEFAULT_CHUNK, seed=None):
     """Warm up (prewarm prefix + ``warmup_events``), reset statistics,
-    measure ``measure_events`` per core; returns a RunResult."""
+    measure ``measure_events`` per core; returns a RunResult.
+
+    Both phases are wall-clock timed (the simulator's self-profiling
+    throughput meter).  If an observation session is open (CLI
+    ``--stats/--trace/--manifest``), a tracer is attached before
+    driving and a provenance record is deposited after.
+    """
     warm_ends = []
     for tr in traces:
         end = tr.prewarm_events + warmup_events
@@ -148,19 +216,30 @@ def run_system(system, traces, warmup_events, measure_events,
                              % (tr.core_id, len(tr),
                                 end + measure_events))
         warm_ends.append(end)
+    session = _obs_session.current_session()
+    if session is not None:
+        session.attach(system)
     times = [0.0] * system.num_cores
     per_core = _per_core_state(system, traces)
     system.measuring = False
+    t0 = time.perf_counter()
     _drive(system, per_core, [0] * len(traces), warm_ends, times, chunk)
+    t1 = time.perf_counter()
     system.reset_stats()
     system.measuring = True
     _drive(system, per_core, warm_ends,
            [e + measure_events for e in warm_ends], times, chunk)
+    t2 = time.perf_counter()
     for tr in traces:
         system.cores[tr.core_id].retire(
             int(measure_events * tr.instr_per_event))
-    return RunResult(system=system, measure_events=measure_events,
-                     core_ids=[tr.core_id for tr in traces])
+    result = RunResult(system=system, measure_events=measure_events,
+                       core_ids=[tr.core_id for tr in traces],
+                       warmup_wall_s=t1 - t0, measure_wall_s=t2 - t1,
+                       warmup_events=warmup_events)
+    if session is not None:
+        session.note_run(result, seed=seed)
+    return result
 
 
 def simulate(config, spec, plan, core_params=None, seed=0,
@@ -179,4 +258,4 @@ def simulate(config, spec, plan, core_params=None, seed=0,
         scale=config.scale, seed=seed)
     system.rw_shared_range = layout.rw_shared_range
     return run_system(system, traces, plan.warmup_events,
-                      plan.measure_events, chunk)
+                      plan.measure_events, chunk, seed=seed)

@@ -40,12 +40,28 @@ PRESETS = {
 }
 
 
+def parse_plan(spec):
+    """Resolve ``spec`` to a SamplingPlan: either a preset name or a
+    custom ``warmup:measure`` event pair (e.g. ``40000:15000``)."""
+    if ":" in spec:
+        warmup_s, _, measure_s = spec.partition(":")
+        try:
+            return SamplingPlan(int(warmup_s), int(measure_s))
+        except ValueError:
+            raise ValueError(
+                "invalid sampling spec %r; a custom plan is "
+                "'warmup:measure' with warmup >= 0 and measure > 0, "
+                "e.g. '40000:15000'" % (spec,)) from None
+    try:
+        return PRESETS[spec]
+    except KeyError:
+        raise ValueError(
+            "unknown sampling plan %r; choose a preset from %s or give "
+            "a custom 'warmup:measure' pair, e.g. '40000:15000'"
+            % (spec, sorted(PRESETS))) from None
+
+
 def from_env(default="standard"):
     """Select a sampling plan from $REPRO_SAMPLING (falling back to
-    ``default``)."""
-    name = os.environ.get("REPRO_SAMPLING", default)
-    try:
-        return PRESETS[name]
-    except KeyError:
-        raise ValueError("REPRO_SAMPLING=%r; choose from %s"
-                         % (name, sorted(PRESETS)))
+    ``default``): a preset name or a ``warmup:measure`` pair."""
+    return parse_plan(os.environ.get("REPRO_SAMPLING", default))

@@ -31,6 +31,9 @@ from repro.cores.perf_model import (
     LEVEL_DRAM_CACHE, LEVEL_MEMORY)
 from repro.memory.main_memory import MainMemory
 from repro.noc.mesh import Mesh2D
+from repro.obs.stats import Group
+from repro.obs.trace import (EV_COHERENCE, EV_DIRECTORY, EV_INVALIDATE,
+                             EV_DOWNGRADE, EV_EVICTION)
 from repro.sim.config import LLC_SHARED, LLC_PRIVATE_VAULT
 
 
@@ -130,6 +133,10 @@ class System:
         # Ground truth range of the RW-shared region (Fig. 4 accounting)
         self.rw_shared_range = (0, 0)
         self.measuring = True
+        self.now = 0.0
+        # Event tracing is off unless attach_tracer is called: every
+        # instrumented site costs one `is not None` check when off.
+        self.tracer = None
 
         # System-level counters
         self.llc_accesses = 0          # SRAM bank / DRAM vault accesses
@@ -148,6 +155,118 @@ class System:
         self.llc_reads = 0
         self.llc_demand_writes = 0
         self.llc_writes_by_block = {}
+
+        #: Root of the hierarchical stats registry.  Every counter above
+        #: (and the per-subsystem ones owned by cores, mesh, memory,
+        #: optimization structures and the energy model) is reachable
+        #: through it; ``reset_stats`` delegates to its ``reset``.
+        self.stats = self._build_stats()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def attach_tracer(self, tracer):
+        """Enable event tracing through ``tracer`` (see repro.obs.trace);
+        returns the tracer for chaining."""
+        self.tracer = tracer
+        return tracer
+
+    def _build_stats(self):
+        """Assemble the stats registry over every subsystem."""
+        root = Group("system", "all statistics of one simulated machine")
+
+        caches = root.group("caches", "cache hierarchy counters")
+        caches.bind(self, "llc_accesses",
+                    desc="SRAM bank / DRAM vault accesses")
+        caches.bind(self, "dram_cache_accesses",
+                    desc="conventional DRAM cache accesses")
+        caches.bind(self, "l1_writebacks", desc="dirty L1 evictions")
+        caches.bind(self, "llc_writebacks",
+                    desc="dirty evictions leaving the LLC")
+        caches.bind(self, "vault_evictions",
+                    desc="direct-mapped vault set evictions")
+        caches.bind(self, "replica_hits",
+                    desc="victim-replication local-bank hits")
+        caches.bind(self, "prefetch_fills",
+                    desc="stride prefetches issued to the hierarchy")
+        if self.prefetchers is not None:
+            pf = caches.group("prefetcher", "stride prefetcher totals")
+            pf.callback(
+                "issued",
+                lambda: sum(p.issued for p in self.prefetchers),
+                desc="prefetch candidates produced")
+            pf.callback(
+                "useful",
+                lambda: sum(p.hits_observed for p in self.prefetchers),
+                desc="observed hits on prefetched strides")
+
+            def _reset_prefetch_stats():
+                for p in self.prefetchers:
+                    p.issued = 0
+                    p.hits_observed = 0
+            pf.on_reset(_reset_prefetch_stats)
+        if self.missmaps is not None:
+            mm = caches.group("missmap", "local miss predictor totals")
+            mm.callback(
+                "known_misses",
+                lambda: sum(m.known_misses for m in self.missmaps),
+                desc="probes skipped on predicted misses")
+            mm.callback(
+                "unknown",
+                lambda: sum(m.unknown for m in self.missmaps),
+                desc="lookups outside tracked segments")
+
+            def _reset_missmap_stats():
+                for m in self.missmaps:
+                    m.known_misses = 0
+                    m.unknown = 0
+            mm.on_reset(_reset_missmap_stats)
+        if self.dram_cache_ctrl is not None:
+            dcc = caches.group("dram_cache_ctrl",
+                               "conventional DRAM cache channels")
+            for i, ctrl in enumerate(self.dram_cache_ctrl):
+                ctrl.register_stats(dcc.group("channel%d" % i))
+                dcc.on_reset(ctrl.reset)
+
+        coh = root.group("coherence", "coherence protocol counters")
+        coh.bind(self, "invalidations",
+                 desc="peer copies invalidated")
+        coh.bind(self, "directory_lookups",
+                 desc="home-node directory lookups")
+        coh.bind(self, "remote_forwards",
+                 desc="cache-to-cache data forwards")
+        if self.sram_dir_cache is not None:
+            dc = coh.group("directory_cache", "SRAM directory cache")
+            dc.bind(self.sram_dir_cache, "hits",
+                    desc="metadata found in SRAM", resettable=False)
+            dc.bind(self.sram_dir_cache, "misses",
+                    desc="metadata fetched from DRAM", resettable=False)
+            dc.formula("hit_rate", self.sram_dir_cache.hit_rate)
+            dc.on_reset(self.sram_dir_cache.reset_stats)
+        sharing = coh.group("sharing", "Fig. 3 access classification")
+        sharing.bind(self, "llc_reads", desc="tracked LLC data reads")
+        sharing.bind(self, "llc_demand_writes",
+                     desc="tracked LLC demand writes")
+
+        def _reset_sharing():
+            self.block_readers = {}
+            self.block_writers = {}
+            self.llc_writes_by_block = {}
+        sharing.on_reset(_reset_sharing)
+
+        self.mesh.register_stats(root.group("noc", "2D mesh"))
+        self.memory.register_stats(root.group("memory", "main memory"))
+
+        cores = root.group("cores", "per-core performance model")
+        for c in self.cores:
+            c.register_stats(cores.group("core%d" % c.core_id))
+
+        from repro.energy import EnergyModel
+        EnergyModel().register_stats(
+            root.group("energy", "derived energy model (Table III)"),
+            self)
+        return root
 
     # ------------------------------------------------------------------
     # public entry point
@@ -227,6 +346,9 @@ class System:
         """A store hit an L1 line in S/E/O: gain write permission.
         State changes happen; the store latency itself is hidden by the
         store buffer (no stall charged)."""
+        if self.tracer is not None:
+            self.tracer.emit(EV_COHERENCE, self.now, core, block,
+                             "upgrade:%d->M" % l1_state)
         if self.kind == LLC_SHARED:
             if l1_state != EXCLUSIVE:
                 self._invalidate_peer_l1s(core, block)
@@ -271,6 +393,9 @@ class System:
                         self._insert_llc(s, block, dirty=True)
                 table.remove_sharer(block, s)
                 self.invalidations += 1
+                if self.tracer is not None:
+                    self.tracer.emit(EV_INVALIDATE, self.now, s, block,
+                                     "peer_l1")
 
     def _invalidate_peer_vaults(self, core, block):
         """SILO: invalidate the block in every other core's vault (and
@@ -289,6 +414,9 @@ class System:
             if self.l2 is not None:
                 self.l2[c].invalidate(block)
             self.invalidations += 1
+            if self.tracer is not None:
+                self.tracer.emit(EV_INVALIDATE, self.now, c, block,
+                                 "peer_vault")
 
     # ------------------------------------------------------------------
     # shared-LLC (baseline / Vaults-Sh / 3-level SRAM & eDRAM) path
@@ -516,6 +644,9 @@ class System:
         home = block % self.num_cores
         lat += self.mesh.latency(core, home)
         self.directory_lookups += 1
+        if self.tracer is not None:
+            self.tracer.emit(EV_DIRECTORY, self.now, home, block,
+                             "write" if is_write else "read")
         if self.dir_cache == "ideal":
             pass  # metadata always in SRAM, zero cost
         elif self.sram_dir_cache is not None:
@@ -577,6 +708,9 @@ class System:
                 new = SHARED
         else:
             new = SHARED
+        if self.tracer is not None:
+            self.tracer.emit(EV_DOWNGRADE, self.now, supplier, block,
+                             "%d->%d" % (sup_state, new))
         self.vaults[supplier].update(block, new)
         l1 = self.l1d[supplier]
         l1st = l1.lookup(block, touch=False)
@@ -604,6 +738,9 @@ class System:
             return
         vb, vst = victim
         self.vault_evictions += 1
+        if self.tracer is not None:
+            self.tracer.emit(EV_EVICTION, self.now, core, vb,
+                             "dirty" if is_dirty(vst) else "clean")
         l1st = self.l1d[core].invalidate(vb)
         self.l1i[core].invalidate(vb)
         if self.l2 is not None:
@@ -646,27 +783,14 @@ class System:
     # ------------------------------------------------------------------
 
     def reset_stats(self):
-        """Zero all measurement state (after warmup)."""
-        for c in self.cores:
-            c.reset()
-        self.memory.reset_stats()
-        self.mesh.reset_stats()
-        self.llc_accesses = 0
-        self.dram_cache_accesses = 0
-        if self.dram_cache_ctrl is not None:
-            for ctrl in self.dram_cache_ctrl:
-                ctrl.reset()
-        self.invalidations = 0
-        self.l1_writebacks = 0
-        self.llc_writebacks = 0
-        self.vault_evictions = 0
-        self.directory_lookups = 0
-        self.remote_forwards = 0
-        self.block_readers = {}
-        self.block_writers = {}
-        self.llc_reads = 0
-        self.llc_demand_writes = 0
-        self.llc_writes_by_block = {}
+        """Zero all measurement state (after warmup).
+
+        Delegates to the stats registry, which owns the complete list
+        of resettable statistics -- including ones the pre-registry
+        code forgot (replica hits, prefetch fills, directory-cache and
+        missmap counters).  Architectural state (cache contents,
+        predictor tables) is never touched."""
+        self.stats.reset()
 
     def sharing_breakdown(self):
         """Fig. 3 classification of LLC accesses: (reads,

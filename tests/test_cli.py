@@ -50,8 +50,64 @@ def test_cli_validate_tech(capsys):
 def test_cli_json_output(capsys):
     assert main(["table1", "--json"]) == 0
     import json
-    rows = json.loads(capsys.readouterr().out)
-    assert rows[0]["metric"] == "area_efficiency"
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["experiment"] == "table1"
+    assert doc["elapsed_s"] >= 0.0
+    assert doc["rows"][0]["metric"] == "area_efficiency"
+
+
+def test_cli_json_honors_chart(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SAMPLING", "quick")
+    assert main(["fig4", "--scale", "1024", "--json", "--chart"]) == 0
+    out = capsys.readouterr().out
+    # JSON object first, then the ASCII chart
+    assert out.lstrip().startswith("{")
+    assert "multiplier" in out
+
+
+def test_cli_custom_sampling_pair(capsys):
+    assert main(["fig3", "--scale", "1024",
+                 "--sampling", "2000:1000"]) == 0
+    assert "Web Search" in capsys.readouterr().out
+
+
+def test_cli_rejects_bad_sampling_pair():
+    with pytest.raises(SystemExit):
+        main(["fig3", "--sampling", "1000:zero"])
+
+
+def test_cli_stats_dump(capsys):
+    assert main(["fig3", "--scale", "1024", "--sampling", "2000:1000",
+                 "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "system.caches.llc_accesses" in out
+    assert "system.coherence.invalidations" in out
+    assert "system.memory.reads" in out
+
+
+def test_cli_trace_summary(capsys):
+    assert main(["fig11", "--scale", "1024", "--sampling", "2000:1000",
+                 "--trace", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "trace summary" in out
+
+
+def test_cli_manifest(tmp_path, capsys):
+    assert main(["fig3", "--scale", "1024", "--sampling", "2000:1000",
+                 "--manifest", str(tmp_path)]) == 0
+    import json
+    path = tmp_path / "fig3-manifest.json"
+    assert path.exists()
+    doc = json.loads(path.read_text())
+    assert doc["experiment"] == "fig3"
+    assert doc["runs"], "simulation runs should be recorded"
+    run = doc["runs"][0]
+    assert run["config"]["num_cores"] > 0
+    assert run["seed"] == 7
+    assert run["sampling"] == {"warmup_events": 2000,
+                               "measure_events": 1000}
+    assert run["throughput"]["events_per_sec"] > 0
+    assert "p99" in next(iter(run["latency_percentiles"].values()))
 
 
 def test_cli_chart_flag(capsys, monkeypatch):

@@ -129,3 +129,31 @@ def test_sampling_plan_validation():
     with pytest.raises(ValueError):
         SamplingPlan(10, 0)
     assert SamplingPlan(10, 5).total_events == 15
+
+
+def test_sampling_from_env_custom_pair(monkeypatch):
+    monkeypatch.setenv("REPRO_SAMPLING", "40000:15000")
+    assert from_env() == SamplingPlan(40000, 15000)
+
+
+def test_sampling_custom_pair_errors_are_not_chained(monkeypatch):
+    for bad in ("4000:", "a:b", "1000:-5", ":"):
+        monkeypatch.setenv("REPRO_SAMPLING", bad)
+        with pytest.raises(ValueError) as exc:
+            from_env()
+        assert "warmup:measure" in str(exc.value)
+        assert exc.value.__cause__ is None  # raise ... from None
+    monkeypatch.setenv("REPRO_SAMPLING", "nope")
+    with pytest.raises(ValueError) as exc:
+        from_env()
+    assert exc.value.__cause__ is None
+
+
+def test_run_wall_clock_and_throughput():
+    s = tiny_system()
+    traces = [make_trace(0, 100), make_trace(1, 100, start=1000)]
+    result = run_system(s, traces, warmup_events=40, measure_events=60)
+    assert result.warmup_wall_s > 0
+    assert result.measure_wall_s > 0
+    assert result.driven_events() == 120
+    assert result.events_per_sec() > 0
