@@ -77,7 +77,26 @@ class MissMap:
         self._map[seg] = mask & ~self._bit(block)
 
     def tracked_segments(self):
+        """Number of segments with a live presence bit-vector."""
         return len(self._map)
+
+    def reset_stats(self):
+        """Zero the prediction counters (tracked segments survive:
+        they are architectural state, not measurement)."""
+        self.known_misses = 0
+        self.unknown = 0
+        self.evicted_segments = 0
+
+    def register_stats(self, group):
+        """Register this MissMap's counters under a stats group."""
+        group.bind(self, "known_misses",
+                   desc="probes skipped on predicted misses")
+        group.bind(self, "unknown",
+                   desc="lookups outside tracked segments")
+        group.bind(self, "evicted_segments",
+                   desc="segment entries displaced (residency "
+                        "knowledge lost)")
+        return group
 
     def storage_bits(self):
         """SRAM cost: tag (~28b) + bit-vector per segment entry."""

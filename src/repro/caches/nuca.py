@@ -18,7 +18,8 @@ class SharedNUCA:
     """
 
     def __init__(self, size_bytes, ways, num_banks, bank_latency,
-                 block_bytes=BLOCK_BYTES, policy="lru"):
+                 block_bytes=BLOCK_BYTES, policy="lru", seed=0,
+                 rng=None):
         if num_banks <= 0:
             raise ValueError("num_banks must be positive")
         if size_bytes % num_banks != 0:
@@ -33,9 +34,13 @@ class SharedNUCA:
         # associativity; clamp so each bank keeps at least one set.
         ways = min(ways, bank_blocks)
         self.ways = ways
+        # Randomized policies: each bank owns a Random(seed) unless the
+        # caller threads a shared seeded rng through ``rng``; either
+        # way eviction choices are deterministic in access order.
         self.banks = [SetAssocCache(size_bytes // num_banks, ways,
                                     block_bytes, policy,
-                                    index_stride=num_banks)
+                                    index_stride=num_banks,
+                                    seed=seed, rng=rng)
                       for _ in range(num_banks)]
 
     @property

@@ -4,9 +4,17 @@ A policy decides which resident tag a full set evicts.  Sets are plain
 ``dict``s (tag -> state); Python dicts preserve insertion order, which
 the LRU and FIFO policies exploit: LRU reinserts a tag on every touch so
 the first key is always least-recently used, FIFO never reorders.
+
+Determinism contract (silolint SL001): no policy may touch the
+module-level ``random`` stream.  The random policy owns a
+``Random(seed)`` instance, and callers that already carry a seeded
+stream (the workload generator's, a test's) can thread it in through
+the ``rng`` parameter of :func:`make_policy` /
+:class:`~repro.caches.sram_cache.SetAssocCache` so every source of
+randomness in a run descends from the one manifest-recorded seed.
 """
 
-import random
+from random import Random
 
 
 class LRUPolicy:
@@ -36,10 +44,11 @@ class RandomPolicy:
     name = "random"
     reorder_on_hit = False
 
-    def __init__(self, seed=0):
-        self._rng = random.Random(seed)
+    def __init__(self, seed=0, rng=None):
+        self._rng = Random(seed) if rng is None else rng
 
     def victim(self, entries):
+        """Return a uniformly random resident tag to evict."""
         keys = list(entries)
         return keys[self._rng.randrange(len(keys))]
 
@@ -51,13 +60,16 @@ _POLICIES = {
 }
 
 
-def make_policy(name, seed=0):
-    """Instantiate a replacement policy by name ('lru', 'fifo', 'random')."""
+def make_policy(name, seed=0, rng=None):
+    """Instantiate a replacement policy by name ('lru', 'fifo',
+    'random').  ``rng`` threads an externally seeded ``random.Random``
+    into the random policy (``seed`` is ignored then); stateless
+    policies accept and ignore both."""
     try:
         cls = _POLICIES[name]
     except KeyError:
         raise ValueError("unknown replacement policy %r (choose from %s)"
                          % (name, sorted(_POLICIES)))
     if cls is RandomPolicy:
-        return cls(seed)
+        return cls(seed, rng)
     return cls()

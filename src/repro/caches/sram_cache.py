@@ -26,10 +26,16 @@ class SetAssocCache:
         Sets are selected by ``(block // index_stride) % num_sets``.
         Banked caches (NUCA) pass the bank count here so that bank
         selection bits are not reused for set indexing.
+    seed / rng:
+        Randomized policies draw from ``rng`` (an externally seeded
+        ``random.Random``, e.g. the workload generator's) or, when
+        None, from a private ``Random(seed)`` -- never from the
+        module-level stream, so runs stay reproducible from the
+        manifest-recorded seed (silolint SL001).
     """
 
     def __init__(self, size_bytes, ways, block_bytes=BLOCK_BYTES,
-                 policy="lru", index_stride=1, seed=0):
+                 policy="lru", index_stride=1, seed=0, rng=None):
         if size_bytes <= 0 or ways <= 0:
             raise ValueError("size and ways must be positive")
         blocks = size_bytes // block_bytes
@@ -42,7 +48,7 @@ class SetAssocCache:
         self.block_bytes = block_bytes
         self.num_sets = blocks // ways
         self.index_stride = index_stride
-        self.policy = make_policy(policy, seed)
+        self.policy = make_policy(policy, seed, rng)
         self._reorder = self.policy.reorder_on_hit
         self._sets = [dict() for _ in range(self.num_sets)]
 

@@ -33,30 +33,76 @@ class DupTagDirectory:
         """Node whose vault physically stores this block's directory set."""
         return block % self.num_cores
 
+    def set_index(self, block):
+        """Directory set of ``block`` -- the single place this mapping
+        lives.  Valid only while the directory's set count equals every
+        vault's (``check_consistent`` enforces it)."""
+        return block % self.num_sets
+
     def sharers(self, block):
         """Cores whose vaults currently cache ``block`` (reads all N
         logical ways of the directory set, as the paper describes)."""
-        s = block % self.num_sets
+        s = self.set_index(block)
         return [c for c, v in enumerate(self.vaults) if v.tags[s] == block]
 
     def holder_states(self, block):
         """List of (core, state) pairs for vaults caching the block."""
-        s = block % self.num_sets
+        s = self.set_index(block)
         return [(c, v.states[s]) for c, v in enumerate(self.vaults)
                 if v.tags[s] == block]
 
     def is_cached(self, block):
-        s = block % self.num_sets
+        """True when any vault caches ``block``."""
+        s = self.set_index(block)
         return any(v.tags[s] == block for v in self.vaults)
 
     def entry(self, block, core):
         """The directory entry (tag, state) at way ``core`` of the
         block's set -- None if that way holds a different block."""
-        s = block % self.num_sets
+        s = self.set_index(block)
         v = self.vaults[core]
         if v.tags[s] == block:
             return (block, v.states[s])
         return None
+
+    def check_consistent(self):
+        """Debug assertion: the directory view matches its vaults.
+
+        Re-validates the constructor's geometry assumption (every vault
+        still has ``num_sets`` sets -- the set-index computation in
+        :meth:`set_index` silently breaks if a vault is ever resized or
+        swapped out) and that every resident tag is stored in the set
+        it maps to with a valid (non-INVALID) state.  Used by the model
+        checker's concrete companion check and the coherence invariant
+        tests; raises AssertionError on drift, returns True otherwise.
+        """
+        if len(self.vaults) != self.num_cores:
+            raise AssertionError("directory built over %d vaults, now "
+                                 "sees %d" % (self.num_cores,
+                                              len(self.vaults)))
+        for c, v in enumerate(self.vaults):
+            if v.num_sets != self.num_sets:
+                raise AssertionError(
+                    "vault %d has %d sets but the directory indexes %d "
+                    "(set-index mapping is broken)"
+                    % (c, v.num_sets, self.num_sets))
+            for s, tag in enumerate(v.tags):
+                if tag == -1:
+                    continue
+                if self.set_index(tag) != s:
+                    raise AssertionError(
+                        "vault %d stores block %d in set %d, but it "
+                        "maps to set %d" % (c, tag, s,
+                                            self.set_index(tag)))
+                if v.states[s] == 0:
+                    raise AssertionError(
+                        "vault %d set %d holds tag %d with an INVALID "
+                        "state" % (c, s, tag))
+                if self.entry(tag, c) != (tag, v.states[s]):
+                    raise AssertionError(
+                        "directory way %d disagrees with vault %d for "
+                        "block %d" % (c, c, tag))
+        return True
 
     def storage_bits_per_entry(self, tag_bits=28, state_bits=3):
         """Size of one directory entry (Fig. 9 shows a tag plus 3 state

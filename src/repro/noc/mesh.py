@@ -6,6 +6,7 @@ corner tiles, matching common server floorplans.  Precomputed hop tables
 keep the per-access cost at a dict lookup.
 """
 
+from repro.params import MESH_HOP_LATENCY
 from repro.noc.topology import mesh_side, xy_hops
 
 
@@ -26,7 +27,7 @@ class Mesh2D:
     #: 41-cycle Vaults-Sh round trip (23-cycle vaults).
     INJECTION_OVERHEAD = 3
 
-    def __init__(self, num_nodes, hop_latency=3):
+    def __init__(self, num_nodes, hop_latency=MESH_HOP_LATENCY):
         self.side = mesh_side(num_nodes)
         self.num_nodes = num_nodes
         self.hop_latency = hop_latency

@@ -11,15 +11,49 @@ percentiles, optional full stats snapshot).
 :func:`write_manifest` serializes one (or an experiment-level envelope
 of many) next to the text tables in ``benchmarks/results`` or any
 directory the CLI's ``--manifest DIR`` names.
+
+Schema v2 adds :func:`protocol_provenance`: the exhaustive model
+checker's verdict over the coherence transition table (reachable-state
+counts per core count and a pass flag), so a results file records not
+just *which* code ran but that its protocol was verified at that sha.
 """
 
 import json
 import os
 import subprocess
 
-MANIFEST_SCHEMA = "silo-repro-manifest/1"
+MANIFEST_SCHEMA = "silo-repro-manifest/2"
 
 _SHA_CACHE = {}
+_PROTOCOL_CACHE = {}
+
+
+def protocol_provenance(protocol="moesi", core_counts=(2, 3, 4)):
+    """Model-check the coherence protocol and return a provenance
+    record: per-core-count reachable/quiescent/transition counts and
+    an overall ``verified`` flag.
+
+    Cached per (protocol, core_counts): manifests are built once per
+    run and the 4-core sweep, while fast (<0.1 s), should not be paid
+    repeatedly by experiment envelopes with many runs.
+    """
+    key = (protocol, tuple(core_counts))
+    if key in _PROTOCOL_CACHE:
+        return _PROTOCOL_CACHE[key]
+    from repro.verify.model_check import check_protocol
+    record = {"protocol": protocol, "verified": True, "cores": {}}
+    for n in core_counts:
+        result = check_protocol(num_cores=n, protocol=protocol)
+        record["cores"][str(n)] = {
+            "reachable_states": result.reachable_states,
+            "quiescent_states": result.quiescent_states,
+            "transitions": result.transitions,
+            "violations": result.violation_count,
+        }
+        if not result.ok:
+            record["verified"] = False
+    _PROTOCOL_CACHE[key] = record
+    return record
 
 
 def git_sha(repo_dir=None):

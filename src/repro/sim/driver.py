@@ -18,6 +18,7 @@ from repro.cores.perf_model import (
 from repro.obs import manifest as _manifest
 from repro.obs import session as _obs_session
 from repro.obs.stats import Distribution
+from repro.sim.config import LLC_PRIVATE_VAULT
 from repro.sim.system import System
 
 DEFAULT_CHUNK = 200
@@ -191,6 +192,8 @@ class RunResult:
             "performance": self.performance(),
             "latency_percentiles": self.latency_percentiles(),
         }
+        if sys_.config.llc_kind == LLC_PRIVATE_VAULT:
+            data["protocol_provenance"] = _manifest.protocol_provenance()
         if sys_.tracer is not None:
             data["trace"] = sys_.tracer.summary()
         if include_stats:

@@ -203,8 +203,7 @@ class System:
 
             def _reset_prefetch_stats():
                 for p in self.prefetchers:
-                    p.issued = 0
-                    p.hits_observed = 0
+                    p.reset_stats()
             pf.on_reset(_reset_prefetch_stats)
         if self.missmaps is not None:
             mm = caches.group("missmap", "local miss predictor totals")
@@ -219,8 +218,7 @@ class System:
 
             def _reset_missmap_stats():
                 for m in self.missmaps:
-                    m.known_misses = 0
-                    m.unknown = 0
+                    m.reset_stats()
             mm.on_reset(_reset_missmap_stats)
         if self.dram_cache_ctrl is not None:
             dcc = caches.group("dram_cache_ctrl",
@@ -237,13 +235,8 @@ class System:
         coh.bind(self, "remote_forwards",
                  desc="cache-to-cache data forwards")
         if self.sram_dir_cache is not None:
-            dc = coh.group("directory_cache", "SRAM directory cache")
-            dc.bind(self.sram_dir_cache, "hits",
-                    desc="metadata found in SRAM", resettable=False)
-            dc.bind(self.sram_dir_cache, "misses",
-                    desc="metadata fetched from DRAM", resettable=False)
-            dc.formula("hit_rate", self.sram_dir_cache.hit_rate)
-            dc.on_reset(self.sram_dir_cache.reset_stats)
+            self.sram_dir_cache.register_stats(
+                coh.group("directory_cache", "SRAM directory cache"))
         sharing = coh.group("sharing", "Fig. 3 access classification")
         sharing.bind(self, "llc_reads", desc="tracked LLC data reads")
         sharing.bind(self, "llc_demand_writes",

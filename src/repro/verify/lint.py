@@ -1,0 +1,444 @@
+"""silolint: simulator-specific static lint rules.
+
+Generic linters know nothing about what makes a simulator *wrong*:
+results that silently stop being reproducible, counters that escape the
+stats registry, magic timing numbers that drift away from Table II.
+silolint encodes those contracts as ``ast``-level rules:
+
+* **SL001** -- unseeded randomness: module-level ``random.*`` calls or
+  ``random.Random()`` with no seed.  Every random stream must be
+  derived from an explicit seed, or run manifests (PR 1) stop being
+  reproducible.
+* **SL002** -- a counter-looking attribute (``self.hits += 1``, ...)
+  mutated in a module with no stats-registry linkage: the module
+  neither defines ``register_stats``/``_build_stats`` nor imports
+  :mod:`repro.obs`, so the counter can never be snapshot or reset by
+  the registry.
+* **SL003** -- hard-coded latency/size constants in timing-critical
+  packages (``sim``, ``caches``, ``noc``, ``memory``): a numeric
+  literal assigned to (or defaulted into, or passed as a keyword named
+  like) ``*latency*``/``*_ns``/``*_bytes``/``*_cycles``/``*_size``
+  bypasses :mod:`repro.params`, the single source of Table II truth.
+* **SL004** -- iteration over a ``set``/``frozenset`` in
+  timing-affecting code (``sim``, ``caches``, ``coherence``, ``noc``,
+  ``memory``): set order is unspecified across runs/versions, a
+  nondeterminism hazard wherever iteration order can reach timing or
+  eviction decisions.
+* **SL005** -- ``==``/``!=`` against a float literal in the same
+  timing-affecting packages: clock arithmetic accumulates rounding, so
+  float equality is either dead or flaky.
+
+A finding on a given line is silenced with a trailing
+``# silolint: disable=SL001`` (comma-separate several codes, or
+``disable=all``) -- suppressions are expected to carry a justification
+comment.  Output is ``file:line:col: CODE message`` or, with
+``--json``, a machine-readable report (see :meth:`LintReport.as_dict`).
+"""
+
+import ast
+import json
+import os
+import re
+import sys
+from collections import namedtuple
+
+#: Rule registry: code -> one-line description.
+RULES = {
+    "SL001": "unseeded randomness (module-level random.* call or "
+             "random.Random() without a seed)",
+    "SL002": "stat counter mutated as a bare int in a module with no "
+             "stats-registry linkage (repro.obs)",
+    "SL003": "hard-coded latency/size constant bypassing repro.params",
+    "SL004": "iteration over an unordered set in timing-affecting code",
+    "SL005": "float equality comparison in timing-affecting code",
+}
+
+#: Packages whose code paths decide timing (SL004/SL005 scope).
+TIMING_DIRS = frozenset(("sim", "caches", "coherence", "noc", "memory"))
+#: Packages that must take latencies/sizes from repro.params (SL003).
+PARAMS_DIRS = frozenset(("sim", "caches", "noc", "memory"))
+
+#: One finding.
+Violation = namedtuple("Violation", "file line col rule message")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*silolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+_RANDOM_MODULE_FNS = frozenset((
+    "random", "randrange", "randint", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "lognormvariate",
+    "expovariate", "betavariate", "gammavariate", "paretovariate",
+    "triangular", "vonmisesvariate", "weibullvariate", "seed",
+    "getrandbits", "randbytes"))
+
+_COUNTER_SUFFIXES = ("_count", "_hits", "_misses", "_accesses",
+                     "_writebacks", "_evictions", "_fills", "_lookups",
+                     "_forwards", "_traversals", "_conflicts",
+                     "_invalidations", "_segments")
+_COUNTER_NAMES = frozenset((
+    "count", "hits", "misses", "accesses", "invalidations", "issued",
+    "reads", "writes", "conflicts", "unknown", "link_traversals",
+    "replica_hits", "prefetch_fills", "known_misses"))
+
+_SIZE_LATENCY_SUFFIXES = ("_latency", "_ns", "_bytes", "_cycles",
+                          "_size")
+
+
+def _is_counter_name(name):
+    """Heuristic: does an attribute look like a statistics counter?"""
+    return name in _COUNTER_NAMES or name.endswith(_COUNTER_SUFFIXES)
+
+
+def _is_size_latency_name(name):
+    """Heuristic: does a name denote a latency or a capacity?"""
+    n = name.lower()
+    return ("latency" in n or n.endswith(_SIZE_LATENCY_SUFFIXES)
+            or n.startswith("size_"))
+
+
+def _numeric_literal(node):
+    """The int/float value of a Constant node, or None (bools are not
+    numeric literals for our purposes)."""
+    if (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool)):
+        return node.value
+    return None
+
+
+def _suppressions(line_text):
+    """Rule codes disabled by the line's silolint comment (may contain
+    ``"all"``)."""
+    m = _SUPPRESS_RE.search(line_text)
+    if not m:
+        return frozenset()
+    return frozenset(tok.strip().upper() if tok.strip() != "all"
+                     else "all"
+                     for tok in m.group(1).split(",") if tok.strip())
+
+
+class _ModuleFacts:
+    """Module-level context the rules need: which names came from the
+    ``random`` module, and whether the module is linked to the stats
+    registry."""
+
+    def __init__(self, tree, path_parts):
+        self.random_names = {}   # local name -> original random.* name
+        self.has_registry = "obs" in path_parts
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        self.random_names[alias.asname or alias.name] \
+                            = alias.name
+                elif node.module and node.module.startswith("repro.obs"):
+                    self.has_registry = True
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro.obs"):
+                        self.has_registry = True
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                if node.name in ("register_stats", "_build_stats"):
+                    self.has_registry = True
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Collects violations for one parsed source file."""
+
+    def __init__(self, path, tree, path_parts):
+        self.path = path
+        self.facts = _ModuleFacts(tree, path_parts)
+        self.in_timing = bool(TIMING_DIRS & path_parts)
+        self.in_params_scope = (bool(PARAMS_DIRS & path_parts)
+                                and os.path.basename(path) != "params.py")
+        self.violations = []
+
+    def _flag(self, node, rule, message):
+        self.violations.append(Violation(
+            self.path, node.lineno, node.col_offset, rule, message))
+
+    # -- SL001 ---------------------------------------------------------
+
+    def visit_Call(self, node):
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"):
+            if func.attr == "Random":
+                if not node.args and not node.keywords:
+                    self._flag(node, "SL001",
+                               "random.Random() without an explicit "
+                               "seed breaks run reproducibility")
+            elif func.attr in _RANDOM_MODULE_FNS:
+                self._flag(node, "SL001",
+                           "module-level random.%s() draws from the "
+                           "shared unseeded stream" % func.attr)
+        elif isinstance(func, ast.Name):
+            origin = self.facts.random_names.get(func.id)
+            if origin == "Random":
+                if not node.args and not node.keywords:
+                    self._flag(node, "SL001",
+                               "Random() without an explicit seed "
+                               "breaks run reproducibility")
+            elif origin in _RANDOM_MODULE_FNS:
+                self._flag(node, "SL001",
+                           "module-level random.%s() (imported as %s) "
+                           "draws from the shared unseeded stream"
+                           % (origin, func.id))
+        if self.in_params_scope:
+            for kw in node.keywords:
+                if (kw.arg and _is_size_latency_name(kw.arg)
+                        and _numeric_literal(kw.value) not in (None, 0,
+                                                               1)):
+                    self._flag(kw.value, "SL003",
+                               "literal %r passed as %s= bypasses "
+                               "repro.params"
+                               % (kw.value.value, kw.arg))
+        self.generic_visit(node)
+
+    # -- SL002 ---------------------------------------------------------
+
+    def visit_AugAssign(self, node):
+        if (not self.facts.has_registry
+                and isinstance(node.op, (ast.Add, ast.Sub))
+                and isinstance(node.target, ast.Attribute)
+                and isinstance(node.target.value, ast.Name)
+                and node.target.value.id == "self"
+                and _is_counter_name(node.target.attr)):
+            self._flag(node, "SL002",
+                       "counter self.%s mutated in a module with no "
+                       "stats-registry linkage (define register_stats "
+                       "or bind it via repro.obs)" % node.target.attr)
+        self.generic_visit(node)
+
+    # -- SL003 ---------------------------------------------------------
+
+    def _check_assign_target(self, target, value):
+        if (isinstance(target, ast.Name)
+                and _is_size_latency_name(target.id)
+                and _numeric_literal(value) not in (None, 0, 1, -1)):
+            self._flag(value, "SL003",
+                       "hard-coded %s = %r bypasses repro.params"
+                       % (target.id, value.value))
+
+    def visit_Assign(self, node):
+        if self.in_params_scope:
+            for target in node.targets:
+                self._check_assign_target(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node):
+        if self.in_params_scope and node.value is not None:
+            self._check_assign_target(node.target, node.value)
+        self.generic_visit(node)
+
+    def _check_defaults(self, node):
+        args = node.args
+        pos = args.posonlyargs + args.args
+        for arg, default in zip(pos[len(pos) - len(args.defaults):],
+                                args.defaults):
+            self._check_default(arg, default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                self._check_default(arg, default)
+
+    def _check_default(self, arg, default):
+        if (_is_size_latency_name(arg.arg)
+                and _numeric_literal(default) not in (None, 0, 1, -1)):
+            self._flag(default, "SL003",
+                       "default %s=%r bypasses repro.params"
+                       % (arg.arg, default.value))
+
+    def visit_FunctionDef(self, node):
+        if self.in_params_scope:
+            self._check_defaults(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    # -- SL004 ---------------------------------------------------------
+
+    def _check_iteration(self, iter_node):
+        if not self.in_timing:
+            return
+        flagged = None
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            flagged = "a set literal"
+        elif (isinstance(iter_node, ast.Call)
+              and isinstance(iter_node.func, ast.Name)
+              and iter_node.func.id in ("set", "frozenset")):
+            flagged = "%s(...)" % iter_node.func.id
+        if flagged:
+            self._flag(iter_node, "SL004",
+                       "iterating over %s: set order is unspecified "
+                       "(sort it, or use a list/dict)" % flagged)
+
+    def visit_For(self, node):
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node):
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    # -- SL005 ---------------------------------------------------------
+
+    def visit_Compare(self, node):
+        if self.in_timing and any(isinstance(op, (ast.Eq, ast.NotEq))
+                                  for op in node.ops):
+            for operand in [node.left] + node.comparators:
+                if (isinstance(operand, ast.Constant)
+                        and isinstance(operand.value, float)):
+                    self._flag(node, "SL005",
+                               "float equality against %r in timing "
+                               "code (compare with a tolerance or use "
+                               "integers)" % operand.value)
+                    break
+        self.generic_visit(node)
+
+
+class LintReport:
+    """Aggregated result of linting a set of paths."""
+
+    def __init__(self):
+        self.violations = []
+        self.errors = []        # (path, message) for unparseable files
+        self.files_scanned = 0
+
+    @property
+    def ok(self):
+        """True when every scanned file parsed and no rule fired."""
+        return not self.violations and not self.errors
+
+    def counts(self):
+        """Violations per rule code."""
+        out = {}
+        for v in self.violations:
+            out[v.rule] = out.get(v.rule, 0) + 1
+        return out
+
+    def as_dict(self):
+        """JSON-ready report (the ``--json`` output schema)."""
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "counts": self.counts(),
+            "violations": [
+                {"file": v.file, "line": v.line, "col": v.col,
+                 "rule": v.rule, "message": v.message}
+                for v in self.violations],
+            "errors": [{"file": p, "message": m}
+                       for p, m in self.errors],
+        }
+
+    def render(self):
+        """Human-readable ``file:line:col: CODE message`` lines."""
+        lines = ["%s:%d:%d: %s %s" % v for v in self.violations]
+        lines.extend("%s: error: %s" % e for e in self.errors)
+        return "\n".join(lines)
+
+
+def lint_file(path, report):
+    """Lint one source file into ``report``."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            source = f.read()
+        tree = ast.parse(source, filename=path)
+    except (OSError, SyntaxError, ValueError) as e:
+        report.errors.append((path, str(e)))
+        return
+    report.files_scanned += 1
+    parts = frozenset(os.path.normpath(os.path.abspath(path))
+                      .split(os.sep)[:-1])
+    linter = _FileLinter(path, tree, parts)
+    linter.visit(tree)
+    if not linter.violations:
+        return
+    lines = source.splitlines()
+    for v in linter.violations:
+        text = lines[v.line - 1] if 0 < v.line <= len(lines) else ""
+        disabled = _suppressions(text)
+        if "all" in disabled or v.rule in disabled:
+            continue
+        report.violations.append(v)
+
+
+def lint_paths(paths, select=None):
+    """Lint files and directory trees; returns a :class:`LintReport`.
+
+    ``select`` optionally restricts the report to an iterable of rule
+    codes.
+    """
+    report = LintReport()
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs.sort()
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        lint_file(os.path.join(root, name), report)
+        elif path.endswith(".py") or os.path.isfile(path):
+            lint_file(path, report)
+        else:
+            report.errors.append((path, "no such file or directory"))
+    report.violations.sort(key=lambda v: (v.file, v.line, v.col,
+                                          v.rule))
+    if select is not None:
+        chosen = frozenset(select)
+        report.violations = [v for v in report.violations
+                             if v.rule in chosen]
+    return report
+
+
+def main(argv=None):
+    """CLI: ``silolint [--json] [--select SLxxx[,SLyyy]] PATH...``.
+
+    Exit status: 0 clean, 1 violations found, 2 unreadable input.
+    """
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="silolint",
+        description="Simulator-specific lint rules for the SILO "
+                    "reproduction (see repro.verify.lint).")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories (default: src/repro)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    parser.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to report "
+                             "(default: all of %s)"
+                             % ",".join(sorted(RULES)))
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for code in sorted(RULES):
+            print("%s  %s" % (code, RULES[code]))
+        return 0
+    select = None
+    if args.select:
+        select = [c.strip().upper() for c in args.select.split(",")
+                  if c.strip()]
+        unknown = [c for c in select if c not in RULES]
+        if unknown:
+            parser.error("unknown rule code(s): %s" % ",".join(unknown))
+    paths = args.paths or ["src/repro"]
+    report = lint_paths(paths, select=select)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        rendered = report.render()
+        if rendered:
+            print(rendered)
+        print("silolint: %d file(s), %d violation(s)%s"
+              % (report.files_scanned, len(report.violations),
+                 ", %d error(s)" % len(report.errors)
+                 if report.errors else ""))
+    if report.errors:
+        return 2
+    return 1 if report.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

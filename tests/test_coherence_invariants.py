@@ -59,6 +59,8 @@ def _check_silo_invariants(s):
         excl = [c for c, st_ in holders if st_ == EXCLUSIVE]
         if excl:
             assert len(holders) == 1
+    # duplicate-tag directory structurally mirrors the vault tag arrays
+    s.directory.check_consistent()
     # inclusion: every L1D/L1I data block resides in the same core's
     # vault
     for c in range(s.num_cores):

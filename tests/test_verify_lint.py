@@ -1,0 +1,359 @@
+"""silolint rule fixtures: each rule fires on its positive example,
+stays quiet on the compliant variant, and honors line suppressions.
+
+Plus: the JSON report schema, CLI exit codes, and the acceptance gate
+that the repository's own ``src/repro`` tree lints clean.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.verify.lint import RULES, lint_paths, main
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_REPRO = os.path.join(REPO, "src", "repro")
+
+
+def _lint_source(tmp_path, source, subdir=None, name="fixture.py"):
+    """Write ``source`` under tmp_path (optionally in a scoping subdir
+    like 'caches') and lint it."""
+    directory = tmp_path if subdir is None else tmp_path / subdir
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / name
+    path.write_text(source)
+    return lint_paths([str(path)])
+
+
+def _codes(report):
+    return [v.rule for v in report.violations]
+
+
+# ---------------------------------------------------------------------------
+# SL001: unseeded randomness
+# ---------------------------------------------------------------------------
+
+
+def test_sl001_flags_module_level_random(tmp_path):
+    report = _lint_source(tmp_path, (
+        "import random\n"
+        "def pick(items):\n"
+        "    return random.choice(items)\n"))
+    assert _codes(report) == ["SL001"]
+    assert report.violations[0].line == 3
+
+
+def test_sl001_flags_unseeded_random_instance(tmp_path):
+    report = _lint_source(tmp_path, (
+        "import random\n"
+        "rng = random.Random()\n"))
+    assert _codes(report) == ["SL001"]
+
+
+def test_sl001_flags_from_import_alias(tmp_path):
+    report = _lint_source(tmp_path, (
+        "from random import randint as ri\n"
+        "x = ri(0, 10)\n"))
+    assert _codes(report) == ["SL001"]
+
+
+def test_sl001_quiet_on_seeded_random(tmp_path):
+    report = _lint_source(tmp_path, (
+        "from random import Random\n"
+        "rng = Random(42)\n"
+        "x = rng.choice([1, 2])\n"))
+    assert report.ok
+
+
+def test_sl001_suppression(tmp_path):
+    report = _lint_source(tmp_path, (
+        "import random\n"
+        "x = random.random()  # silolint: disable=SL001\n"))
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# SL002: counters outside the stats registry
+# ---------------------------------------------------------------------------
+
+_SL002_BODY = (
+    "class Thing:\n"
+    "    def __init__(self):\n"
+    "        self.hits = 0\n"
+    "    def touch(self):\n"
+    "        self.hits += 1\n")
+
+
+def test_sl002_flags_unregistered_counter(tmp_path):
+    report = _lint_source(tmp_path, _SL002_BODY)
+    assert _codes(report) == ["SL002"]
+    assert "self.hits" in report.violations[0].message
+
+
+def test_sl002_quiet_when_module_defines_register_stats(tmp_path):
+    report = _lint_source(tmp_path, _SL002_BODY + (
+        "    def register_stats(self, group):\n"
+        "        group.bind(self, 'hits')\n"))
+    assert report.ok
+
+
+def test_sl002_quiet_when_module_imports_repro_obs(tmp_path):
+    report = _lint_source(
+        tmp_path, "from repro.obs import stats\n" + _SL002_BODY)
+    assert report.ok
+
+
+def test_sl002_ignores_non_counter_attrs(tmp_path):
+    report = _lint_source(tmp_path, (
+        "class Walker:\n"
+        "    def step(self):\n"
+        "        self.cursor += 1\n"))
+    assert report.ok
+
+
+def test_sl002_suppression(tmp_path):
+    report = _lint_source(tmp_path, _SL002_BODY.replace(
+        "self.hits += 1",
+        "self.hits += 1  # silolint: disable=SL002"))
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# SL003: hard-coded latency/size constants (scoped to sim/caches/...)
+# ---------------------------------------------------------------------------
+
+
+def test_sl003_flags_literal_latency_in_caches_dir(tmp_path):
+    report = _lint_source(tmp_path, "bank_latency = 23\n",
+                          subdir="caches")
+    assert _codes(report) == ["SL003"]
+
+
+def test_sl003_flags_literal_default_argument(tmp_path):
+    report = _lint_source(
+        tmp_path, "def build(hop_latency=3):\n    return hop_latency\n",
+        subdir="noc")
+    assert _codes(report) == ["SL003"]
+
+
+def test_sl003_flags_literal_keyword_argument(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "def make(cache):\n    return cache(size_bytes=8192)\n",
+        subdir="sim")
+    assert _codes(report) == ["SL003"]
+
+
+def test_sl003_quiet_outside_scoped_dirs(tmp_path):
+    report = _lint_source(tmp_path, "bank_latency = 23\n")
+    assert report.ok
+
+
+def test_sl003_quiet_when_value_comes_from_params(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "from repro.params import LLC_LATENCY\n"
+        "bank_latency = LLC_LATENCY\n",
+        subdir="caches")
+    assert report.ok
+
+
+def test_sl003_allows_zero_and_one(tmp_path):
+    report = _lint_source(tmp_path, "extra_latency = 0\n",
+                          subdir="caches")
+    assert report.ok
+
+
+def test_sl003_suppression(tmp_path):
+    report = _lint_source(
+        tmp_path, "bank_latency = 23  # silolint: disable=SL003\n",
+        subdir="caches")
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# SL004: set iteration in timing code
+# ---------------------------------------------------------------------------
+
+
+def test_sl004_flags_set_iteration_in_timing_dir(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "def drain(pending):\n"
+        "    for req in set(pending):\n"
+        "        req.serve()\n",
+        subdir="coherence")
+    assert _codes(report) == ["SL004"]
+
+
+def test_sl004_flags_set_comprehension_source(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "def tags(ways):\n"
+        "    return [w.tag for w in {w for w in ways}]\n",
+        subdir="caches")
+    assert _codes(report) == ["SL004"]
+
+
+def test_sl004_quiet_on_sorted_iteration(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "def drain(pending):\n"
+        "    for req in sorted(set(pending)):\n"
+        "        req.serve()\n",
+        subdir="coherence")
+    assert report.ok
+
+
+def test_sl004_quiet_outside_timing_dirs(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "def names(items):\n"
+        "    for x in set(items):\n"
+        "        print(x)\n")
+    assert report.ok
+
+
+def test_sl004_suppression(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "def drain(pending):\n"
+        "    for req in set(pending):  # silolint: disable=SL004\n"
+        "        req.serve()\n",
+        subdir="noc")
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# SL005: float equality in timing code
+# ---------------------------------------------------------------------------
+
+
+def test_sl005_flags_float_equality(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "def ready(clock):\n"
+        "    return clock == 1.5\n",
+        subdir="memory")
+    assert _codes(report) == ["SL005"]
+
+
+def test_sl005_quiet_on_int_equality(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "def ready(clock):\n"
+        "    return clock == 3\n",
+        subdir="memory")
+    assert report.ok
+
+
+def test_sl005_quiet_outside_timing_dirs(tmp_path):
+    report = _lint_source(tmp_path, "x = 1.0\nassert x == 1.0\n")
+    assert report.ok
+
+
+def test_sl005_suppression(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "def ready(clock):\n"
+        "    return clock != 0.5  # silolint: disable=all\n",
+        subdir="sim")
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# Report plumbing: JSON schema, sorting, errors, CLI
+# ---------------------------------------------------------------------------
+
+
+def test_json_report_schema(tmp_path):
+    (tmp_path / "a.py").write_text("import random\nrandom.seed()\n")
+    report = lint_paths([str(tmp_path)])
+    data = report.as_dict()
+    assert data["version"] == 1
+    assert data["files_scanned"] == 1
+    assert data["counts"] == {"SL001": 1}
+    assert data["errors"] == []
+    (v,) = data["violations"]
+    assert set(v) == {"file", "line", "col", "rule", "message"}
+    assert v["rule"] == "SL001"
+    assert v["line"] == 2
+    json.dumps(data)  # must be JSON-serializable as-is
+
+
+def test_violations_sorted_by_location(tmp_path):
+    (tmp_path / "b.py").write_text("import random\nx = random.random()\n")
+    (tmp_path / "a.py").write_text("import random\ny = random.random()\n")
+    report = lint_paths([str(tmp_path)])
+    files = [os.path.basename(v.file) for v in report.violations]
+    assert files == sorted(files)
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    (tmp_path / "bad.py").write_text("def broken(:\n")
+    report = lint_paths([str(tmp_path)])
+    assert not report.ok
+    assert report.errors and "bad.py" in report.errors[0][0]
+
+
+def test_select_restricts_rules(tmp_path):
+    (tmp_path / "caches").mkdir()
+    (tmp_path / "caches" / "m.py").write_text(
+        "import random\nbank_latency = 23\nx = random.random()\n")
+    report = lint_paths([str(tmp_path)], select=["SL003"])
+    assert _codes(report) == ["SL003"]
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nx = random.random()\n")
+    assert main([str(clean)]) == 0
+    assert main([str(dirty)]) == 1
+    assert main([str(tmp_path / "missing.py")]) == 2
+    out = capsys.readouterr().out
+    assert "SL001" in out
+
+
+def test_cli_json_output(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nx = random.random()\n")
+    assert main(["--json", str(dirty)]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["counts"] == {"SL001": 1}
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
+
+
+def test_rule_catalogue_is_complete():
+    assert sorted(RULES) == ["SL001", "SL002", "SL003", "SL004", "SL005"]
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: the repository's own tree is clean
+# ---------------------------------------------------------------------------
+
+
+def test_src_repro_lints_clean():
+    report = lint_paths([SRC_REPRO])
+    assert report.files_scanned > 50
+    assert report.ok, report.render()
+
+
+def test_module_entry_point_runs_clean():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.verify", "lint", SRC_REPRO],
+        cwd=REPO, env=env, capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 violation(s)" in proc.stdout

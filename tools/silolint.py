@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Standalone entry point for silolint, the simulator lint pass.
+
+Equivalent to ``python -m repro.verify lint`` but runnable from a
+checkout without setting ``PYTHONPATH`` (it bootstraps ``src/`` onto
+``sys.path`` itself), which is what editor integrations and pre-commit
+hooks want.
+
+Usage: python tools/silolint.py [paths...] [--json] [--select SLxxx]
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.verify.lint import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
