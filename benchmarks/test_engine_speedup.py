@@ -1,0 +1,63 @@
+"""Run-engine acceptance benchmark: fig10 with standard sampling.
+
+Three timed phases over the same grid:
+
+1. cold serial (``jobs=1``) into an empty cache,
+2. parallel fan-out (``jobs=4``),
+3. warm-cache replay (``jobs=1``, same cache).
+
+All three must produce bit-identical rows.  The warm replay must finish
+in under 10% of the cold serial time.  The parallel phase must be at
+least 2x faster than serial when the host actually has >= 4 cores (on
+smaller hosts the honest timing is still recorded in
+BENCH_engine.json, together with the host core count).
+"""
+
+import os
+import time
+
+from repro.experiments.performance import fig10_scaleout
+from repro.sim import engine as sim_engine
+from repro.sim.sampling import PRESETS
+
+
+def _timed(engine):
+    start = time.perf_counter()
+    with sim_engine.use_engine(engine):
+        rows = fig10_scaleout(plan=PRESETS["standard"])
+    return rows, time.perf_counter() - start
+
+
+def test_engine_speedup(tmp_path, bench_extra):
+    cache = sim_engine.RunCache(str(tmp_path))
+
+    cold = sim_engine.RunEngine(jobs=1, cache=cache)
+    serial_rows, serial_s = _timed(cold)
+    assert cold.executed == cold.unique_points > 0
+
+    par_engine = sim_engine.RunEngine(jobs=4)
+    par_rows, par_s = _timed(par_engine)
+    assert par_rows == serial_rows      # bit-identical, no tolerance
+    assert par_engine.executed == par_engine.unique_points
+
+    warm = sim_engine.RunEngine(jobs=1, cache=cache)
+    warm_rows, warm_s = _timed(warm)
+    assert warm_rows == serial_rows     # cache replay is bit-identical
+    assert warm.executed == 0
+    assert warm.cache_hits == warm.unique_points
+
+    cpus = os.cpu_count() or 1
+    bench_extra({
+        "figure": "fig10",
+        "sampling": "standard",
+        "host_cpu_count": cpus,
+        "cold_serial_s": round(serial_s, 3),
+        "parallel_jobs4_s": round(par_s, 3),
+        "warm_cache_s": round(warm_s, 3),
+        "parallel_speedup": round(serial_s / par_s, 3),
+        "warm_cache_fraction_of_serial": round(warm_s / serial_s, 4),
+    })
+
+    assert warm_s < 0.10 * serial_s
+    if cpus >= 4:
+        assert serial_s / par_s >= 2.0

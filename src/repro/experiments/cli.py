@@ -17,6 +17,7 @@ from repro.experiments import EXPERIMENTS
 from repro.experiments.common import render_table
 from repro.obs import manifest as obs_manifest
 from repro.obs import session as obs_session
+from repro.sim import engine as sim_engine
 from repro.sim.sampling import PRESETS, parse_plan
 
 
@@ -65,9 +66,22 @@ def main(argv=None):
                         help="write a JSON run-provenance manifest "
                              "(config, seed, git sha, wall clock, "
                              "events/sec, latency percentiles) to DIR")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="simulate up to N grid points in parallel "
+                             "worker processes (default: $REPRO_JOBS "
+                             "or 1 = serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk run cache for simulated points "
+                             "(default: $REPRO_CACHE_DIR or "
+                             "~/.cache/silo-repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the run cache (every point "
+                             "simulates)")
     args = parser.parse_args(argv)
     if args.trace < 0:
         parser.error("--trace must be positive")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     func = EXPERIMENTS[args.experiment]
     kwargs = {}
@@ -79,17 +93,30 @@ def main(argv=None):
         if args.sampling is not None:
             kwargs["plan"] = args.sampling
 
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = sim_engine.resolve_cache_dir(
+            default=sim_engine.DEFAULT_CACHE_DIR)
+    engine = sim_engine.RunEngine(
+        jobs=args.jobs,
+        cache=sim_engine.RunCache(cache_dir) if cache_dir else None)
+
     start = time.time()
     with obs_session.observe(trace_capacity=args.trace,
                              collect_manifests=args.manifest is not None,
                              collect_stats=args.stats) as session:
-        rows = func(**kwargs)
+        with sim_engine.use_engine(engine):
+            rows = func(**kwargs)
     elapsed = time.time() - start
 
     if args.json:
         import json
         print(json.dumps({"experiment": args.experiment,
-                          "elapsed_s": elapsed, "rows": rows},
+                          "elapsed_s": elapsed, "rows": rows,
+                          "engine": engine.snapshot()},
                          indent=2, default=str))
     else:
         shown = rows
@@ -125,6 +152,7 @@ def main(argv=None):
             "elapsed_s": elapsed,
             "git_sha": obs_manifest.git_sha(),
             "argv": list(argv) if argv is not None else sys.argv[1:],
+            "engine": engine.snapshot(),
             "runs": session.runs,
         }
         path = obs_manifest.write_manifest(

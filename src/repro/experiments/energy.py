@@ -1,11 +1,15 @@
 """Fig. 13: memory-subsystem dynamic energy, Baseline vs SILO
 (Sec. VII-C), split into LLC and main-memory components and normalized
-to the baseline's total."""
+to the baseline's total.
+
+The baseline x workload points here are the same points Fig. 10 and
+Fig. 11 simulate (run summaries carry the default energy breakdown),
+so a shared run cache serves them without re-simulating.
+"""
 
 from repro.core.systems import system_config, SYSTEM_LABELS
-from repro.energy.model import EnergyModel
 from repro.params import NS_PER_CYCLE
-from repro.sim.driver import simulate
+from repro.sim.engine import RunRequest, run_grid
 from repro.workloads.scaleout import SCALEOUT_WORKLOADS, SCALEOUT_LABELS
 from repro.experiments.common import resolve_plan, DEFAULT_SCALE, DEFAULT_SEED
 
@@ -18,29 +22,29 @@ def fig13_energy(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
     plan = resolve_plan(plan)
     if workloads is None:
         workloads = list(SCALEOUT_WORKLOADS)
-    model = EnergyModel()
+    systems = ("baseline", "silo")
+    points = [(wname, sname) for wname in workloads for sname in systems]
+    grid = [RunRequest.point(system_config(sname, scale=scale),
+                             SCALEOUT_WORKLOADS[wname], plan, seed)
+            for wname, sname in points]
+    by_point = dict(zip(points, run_grid(grid)))
     rows = []
     for wname in workloads:
-        spec = SCALEOUT_WORKLOADS[wname]
-        results = {}
-        for sname in ("baseline", "silo"):
-            results[sname] = simulate(system_config(sname, scale=scale),
-                                      spec, plan, seed=seed)
-        base_bd = model.breakdown(results["baseline"].system)
-        base_total = max(base_bd.total_dynamic_nj, 1e-12)
-        for sname, result in results.items():
-            bd = model.breakdown(result.system)
+        base_total = max(
+            by_point[(wname, "baseline")].energy["total_dynamic_nj"],
+            1e-12)
+        for sname in systems:
+            result = by_point[(wname, sname)]
+            energy = result.energy
             # Wall-clock of the measured window: the slowest core's
             # cycle count at 2 GHz.
-            cycles = max(result.system.cores[c].cycles()
-                         for c in result.core_ids)
-            seconds = cycles * NS_PER_CYCLE * 1e-9
+            seconds = result.max_core_cycles() * NS_PER_CYCLE * 1e-9
             rows.append({
                 "workload": SCALEOUT_LABELS.get(wname, wname),
                 "system": SYSTEM_LABELS[sname],
-                "llc_dynamic": bd.llc_dynamic_nj / base_total,
-                "memory_dynamic": bd.memory_dynamic_nj / base_total,
-                "total_dynamic": bd.total_dynamic_nj / base_total,
-                "llc_power_w": bd.llc_power_w(seconds),
+                "llc_dynamic": energy["llc_dynamic_nj"] / base_total,
+                "memory_dynamic": energy["memory_dynamic_nj"] / base_total,
+                "total_dynamic": energy["total_dynamic_nj"] / base_total,
+                "llc_power_w": result.llc_power_w(seconds),
             })
     return rows

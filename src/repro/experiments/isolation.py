@@ -4,17 +4,15 @@ Web Search runs on 8 cores of the 16-core machine, alone or colocated
 with the memory-intensive SPEC'06 mcf on the other 8 cores.  The metric
 is Web Search's aggregate IPC, normalized to the stand-alone shared-LLC
 setup.  A shared LLC suffers contention from mcf; SILO's private vaults
-do not.
+do not.  The four distinct points (the original code simulated the
+stand-alone baseline twice) are declared as one grid, so the engine
+dedups the repeat and can fan the rest out.
 """
 
 from repro.core.systems import system_config
-from repro.cores.perf_model import CoreParams
-from repro.sim.system import System
-from repro.sim.driver import run_system
+from repro.sim.engine import RunRequest, run_grid
 from repro.workloads.scaleout import WEB_SEARCH
 from repro.workloads.spec import SPEC_APPS
-from repro.workloads.colocation import generate_colocation_traces
-from repro.workloads.generator import generate_traces
 from repro.experiments.common import resolve_plan, DEFAULT_SCALE, DEFAULT_SEED
 
 NUM_CORES = 16
@@ -22,43 +20,33 @@ WS_CORES = tuple(range(8))
 MCF_CORES = tuple(range(8, 16))
 
 
-def _core_params(colocated):
-    params = [WEB_SEARCH.core] * 8
-    if colocated:
-        params = params + [SPEC_APPS["mcf"].core] * 8
-    else:
-        params = params + [CoreParams()] * 8  # idle cores, params unused
-    return params
-
-
-def _ws_performance(sys_name, colocated, plan, scale, seed):
+def _ws_request(sys_name, colocated, plan, scale, seed):
     config = system_config(sys_name, num_cores=NUM_CORES, scale=scale)
-    system = System(config, _core_params(colocated))
     if colocated:
-        traces, _ = generate_colocation_traces(
+        return RunRequest.colocation(
+            config,
             [(WEB_SEARCH, list(WS_CORES)),
              (SPEC_APPS["mcf"], list(MCF_CORES))],
-            events_per_core=plan.total_events, scale=scale, seed=seed)
-    else:
-        traces, _ = generate_traces(WEB_SEARCH, num_cores=len(WS_CORES),
-                                    events_per_core=plan.total_events,
-                                    scale=scale, seed=seed,
-                                    core_ids=list(WS_CORES))
-    result = run_system(system, traces, plan.warmup_events,
-                        plan.measure_events)
-    return sum(result.system.cores[c].ipc() for c in WS_CORES)
+            plan, seed)
+    return RunRequest.point(config, WEB_SEARCH, plan, seed,
+                            core_ids=WS_CORES)
 
 
 def table6_isolation(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED):
     """Table VI: Web Search performance alone and with mcf, under a
     shared LLC and under SILO, normalized to stand-alone shared LLC."""
     plan = resolve_plan(plan)
-    base = _ws_performance("baseline", False, plan, scale, seed)
+    setups = (("Web Search alone", False), ("Web Search + mcf", True))
+    grid = [_ws_request("baseline", False, plan, scale, seed)]
+    for _setup, colocated in setups:
+        grid.append(_ws_request("baseline", colocated, plan, scale, seed))
+        grid.append(_ws_request("silo", colocated, plan, scale, seed))
+    results = iter(run_grid(grid))
+    base = next(results).ipc_of(WS_CORES)
     rows = []
-    for setup, colocated in (("Web Search alone", False),
-                             ("Web Search + mcf", True)):
-        shared = _ws_performance("baseline", colocated, plan, scale, seed)
-        silo = _ws_performance("silo", colocated, plan, scale, seed)
+    for setup, _colocated in setups:
+        shared = next(results).ipc_of(WS_CORES)
+        silo = next(results).ipc_of(WS_CORES)
         rows.append({
             "setup": setup,
             "shared_llc": shared / base,

@@ -7,10 +7,8 @@ to the baseline.
 """
 
 from repro.core.systems import system_config
-from repro.sim.system import System
-from repro.sim.driver import run_system
+from repro.sim.engine import RunRequest, run_grid
 from repro.workloads.spec import SPEC_MIXES, SPEC_APPS
-from repro.workloads.colocation import generate_colocation_traces
 from repro.experiments.common import (resolve_plan, geomean, DEFAULT_SCALE,
                                       DEFAULT_SEED)
 
@@ -19,20 +17,13 @@ MACHINE_CORES = 16
 MIX_CORE_IDS = (0, 5, 10, 15)
 
 
-def _run_mix(sys_name, mix_apps, plan, scale, seed):
-    from repro.cores.perf_model import CoreParams
-
+def _mix_request(sys_name, mix_apps, plan, scale, seed):
     specs = [SPEC_APPS[a] for a in mix_apps]
     config = system_config(sys_name, num_cores=MACHINE_CORES, scale=scale)
-    core_params = [CoreParams()] * MACHINE_CORES
-    for core, spec in zip(MIX_CORE_IDS, specs):
-        core_params[core] = spec.core
-    system = System(config, core_params)
-    traces, _layouts = generate_colocation_traces(
+    return RunRequest.colocation(
+        config,
         [(spec, [core]) for core, spec in zip(MIX_CORE_IDS, specs)],
-        events_per_core=plan.total_events, scale=scale, seed=seed)
-    return run_system(system, traces, plan.warmup_events,
-                      plan.measure_events)
+        plan, seed)
 
 
 def fig15_spec_mixes(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
@@ -42,17 +33,22 @@ def fig15_spec_mixes(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
     plan = resolve_plan(plan)
     if mixes is None:
         mixes = list(SPEC_MIXES)
+    grid = []
+    for mix in mixes:
+        apps = SPEC_MIXES[mix]
+        grid.append(_mix_request("baseline", apps, plan, scale, seed))
+        grid.append(_mix_request("silo", apps, plan, scale, seed))
+    results = iter(run_grid(grid))
     rows = []
     speedups = []
     for mix in mixes:
-        apps = SPEC_MIXES[mix]
-        base = _run_mix("baseline", apps, plan, scale, seed).performance()
-        silo = _run_mix("silo", apps, plan, scale, seed).performance()
+        base = next(results).performance()
+        silo = next(results).performance()
         speedup = silo / base
         speedups.append(speedup)
         rows.append({
             "mix": mix,
-            "apps": "-".join(apps),
+            "apps": "-".join(SPEC_MIXES[mix]),
             "silo_speedup": speedup,
         })
     rows.append({"mix": "geomean", "apps": "",

@@ -7,9 +7,19 @@ measures mesh link traversals per kilo-instruction for both systems
 (the paper states the claim qualitatively; we quantify it)."""
 
 from repro.core.systems import system_config
-from repro.sim.driver import simulate
+from repro.sim.engine import RunRequest, run_grid
 from repro.workloads.scaleout import SCALEOUT_WORKLOADS, SCALEOUT_LABELS
 from repro.experiments.common import resolve_plan, DEFAULT_SCALE, DEFAULT_SEED
+
+
+def _pair_grid(workloads, systems, plan, scale, seed):
+    """The (workload x system) grid every study here sweeps; returns
+    the point list and the aligned run summaries as a dict."""
+    points = [(wname, sname) for wname in workloads for sname in systems]
+    grid = [RunRequest.point(system_config(sname, scale=scale),
+                             SCALEOUT_WORKLOADS[wname], plan, seed)
+            for wname, sname in points]
+    return dict(zip(points, run_grid(grid)))
 
 
 def noc_traffic(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
@@ -18,15 +28,15 @@ def noc_traffic(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
     plan = resolve_plan(plan)
     if workloads is None:
         workloads = list(SCALEOUT_WORKLOADS)
+    by_point = _pair_grid(workloads, ("baseline", "silo"), plan, scale,
+                          seed)
     rows = []
     for wname in workloads:
-        spec = SCALEOUT_WORKLOADS[wname]
         lpki = {}
         for sname in ("baseline", "silo"):
-            result = simulate(system_config(sname, scale=scale), spec,
-                              plan, seed=seed)
+            result = by_point[(wname, sname)]
             instrs = result.instructions()
-            lpki[sname] = (1000.0 * result.system.mesh.link_traversals
+            lpki[sname] = (1000.0 * result.counters["link_traversals"]
                            / max(1, instrs))
         rows.append({
             "workload": SCALEOUT_LABELS.get(wname, wname),
@@ -46,15 +56,16 @@ def offchip_traffic(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
     plan = resolve_plan(plan)
     if workloads is None:
         workloads = list(SCALEOUT_WORKLOADS)
+    by_point = _pair_grid(workloads, ("baseline", "silo"), plan, scale,
+                          seed)
     rows = []
     for wname in workloads:
-        spec = SCALEOUT_WORKLOADS[wname]
         bpki = {}
         for sname in ("baseline", "silo"):
-            result = simulate(system_config(sname, scale=scale), spec,
-                              plan, seed=seed)
+            result = by_point[(wname, sname)]
             instrs = result.instructions()
-            bpki[sname] = (64.0 * 1000.0 * result.system.memory.accesses
+            bpki[sname] = (64.0 * 1000.0
+                           * result.counters["memory_accesses"]
                            / max(1, instrs))
         rows.append({
             "workload": SCALEOUT_LABELS.get(wname, wname),
@@ -76,19 +87,17 @@ def dnuca_comparison(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
     plan = resolve_plan(plan)
     if workloads is None:
         workloads = list(SCALEOUT_WORKLOADS)
+    by_point = _pair_grid(workloads, ("baseline", "baseline_vr", "silo"),
+                          plan, scale, seed)
     rows = []
     for wname in workloads:
-        spec = SCALEOUT_WORKLOADS[wname]
-        base = simulate(system_config("baseline", scale=scale), spec,
-                        plan, seed=seed).performance()
-        vr = simulate(system_config("baseline_vr", scale=scale), spec,
-                      plan, seed=seed)
-        silo = simulate(system_config("silo", scale=scale), spec, plan,
-                        seed=seed).performance()
+        base = by_point[(wname, "baseline")].performance()
+        vr = by_point[(wname, "baseline_vr")]
+        silo = by_point[(wname, "silo")].performance()
         rows.append({
             "workload": SCALEOUT_LABELS.get(wname, wname),
             "victim_replication": vr.performance() / base,
             "silo": silo / base,
-            "replica_hits": vr.system.replica_hits,
+            "replica_hits": vr.counters["replica_hits"],
         })
     return rows

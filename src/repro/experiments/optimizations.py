@@ -7,7 +7,7 @@ together.  Normalized to NoOpt per workload.
 """
 
 from repro.core.systems import silo_config
-from repro.sim.driver import simulate
+from repro.sim.engine import RunRequest, run_grid
 from repro.workloads.scaleout import SCALEOUT_WORKLOADS, SCALEOUT_LABELS
 from repro.experiments.common import resolve_plan, DEFAULT_SCALE, DEFAULT_SEED
 
@@ -36,20 +36,24 @@ REALISTIC_VARIANTS = (
 
 
 def _run_variants(variants, plan, scale, seed, workloads):
+    points = [(wname, label) for wname in workloads
+              for label, _opts in variants]
+    variant_opts = dict(variants)
+    grid = [RunRequest.point(
+                silo_config(scale=scale, **variant_opts[label]),
+                SCALEOUT_WORKLOADS[wname], plan, seed)
+            for wname, label in points]
     rows = []
-    for wname in workloads:
-        spec = SCALEOUT_WORKLOADS[wname]
-        base = None
-        for label, opts in variants:
-            config = silo_config(scale=scale, **opts)
-            perf = simulate(config, spec, plan, seed=seed).performance()
-            if base is None:
-                base = perf
-            rows.append({
-                "workload": SCALEOUT_LABELS.get(wname, wname),
-                "variant": label,
-                "normalized_performance": perf / base,
-            })
+    base = {}
+    for (wname, label), result in zip(points, run_grid(grid)):
+        perf = result.performance()
+        if wname not in base:
+            base[wname] = perf
+        rows.append({
+            "workload": SCALEOUT_LABELS.get(wname, wname),
+            "variant": label,
+            "normalized_performance": perf / base[wname],
+        })
     return rows
 
 

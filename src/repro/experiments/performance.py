@@ -1,9 +1,16 @@
 """Main performance studies: Fig. 10 (scale-out), Fig. 11 (LLC hit
-breakdown), Fig. 14 (enterprise) and Fig. 16 (3-level hierarchies)."""
+breakdown), Fig. 14 (enterprise) and Fig. 16 (3-level hierarchies).
+
+Each figure declares its |systems| x |workloads| point grid as a batch
+of :class:`~repro.sim.engine.RunRequest`s and maps it through the run
+engine (:func:`~repro.sim.engine.run_grid`), so duplicate points --
+the baseline x workload points shared by Fig. 10, Fig. 11, Fig. 13 and
+the NOC study -- are simulated once and memoized.
+"""
 
 from repro.core.config import EVALUATED_SYSTEMS, THREE_LEVEL_SYSTEMS
 from repro.core.systems import system_config, SYSTEM_LABELS
-from repro.sim.driver import simulate
+from repro.sim.engine import RunRequest, run_grid
 from repro.workloads.scaleout import SCALEOUT_WORKLOADS, SCALEOUT_LABELS
 from repro.workloads.enterprise import ENTERPRISE_WORKLOADS, ENTERPRISE_LABELS
 from repro.experiments.common import (resolve_plan, geomean, DEFAULT_SCALE,
@@ -14,20 +21,25 @@ def _suite_performance(systems, workload_map, labels, plan, scale, seed,
                        baseline="baseline"):
     """Run ``systems`` x ``workloads``; returns rows normalized to the
     baseline system plus a geomean row per system."""
+    others = [s for s in systems if s != baseline]
+    grid = []
+    for spec in workload_map.values():
+        grid.append(RunRequest.point(system_config(baseline, scale=scale),
+                                     spec, plan, seed))
+        for sname in others:
+            grid.append(RunRequest.point(
+                system_config(sname, scale=scale), spec, plan, seed))
+    results = iter(run_grid(grid))
+
     rows = []
-    ratios = {s: [] for s in systems if s != baseline}
-    for wname, spec in workload_map.items():
-        base = simulate(system_config(baseline, scale=scale), spec, plan,
-                        seed=seed).performance()
+    ratios = {s: [] for s in others}
+    for wname in workload_map:
+        base = next(results).performance()
         rows.append({"workload": labels.get(wname, wname),
                      "system": SYSTEM_LABELS[baseline],
                      "normalized_performance": 1.0})
-        for sname in systems:
-            if sname == baseline:
-                continue
-            perf = simulate(system_config(sname, scale=scale), spec, plan,
-                            seed=seed).performance()
-            ratio = perf / base
+        for sname in others:
+            ratio = next(results).performance() / base
             ratios[sname].append(ratio)
             rows.append({"workload": labels.get(wname, wname),
                          "system": SYSTEM_LABELS[sname],
@@ -58,21 +70,22 @@ def fig11_hit_breakdown(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
     plan = resolve_plan(plan)
     if workloads is None:
         workloads = list(SCALEOUT_WORKLOADS)
+    points = [(wname, sname) for wname in workloads
+              for sname in ("baseline", "silo")]
+    grid = [RunRequest.point(system_config(sname, scale=scale),
+                             SCALEOUT_WORKLOADS[wname], plan, seed)
+            for wname, sname in points]
     rows = []
-    for wname in workloads:
-        spec = SCALEOUT_WORKLOADS[wname]
-        for sname in ("baseline", "silo"):
-            result = simulate(system_config(sname, scale=scale), spec,
-                              plan, seed=seed)
-            local, remote, miss = result.llc_breakdown()
-            total = max(1, local + remote + miss)
-            rows.append({
-                "workload": SCALEOUT_LABELS.get(wname, wname),
-                "system": SYSTEM_LABELS[sname],
-                "local_hits": local / total,
-                "remote_hits": remote / total,
-                "offchip_misses": miss / total,
-            })
+    for (wname, sname), result in zip(points, run_grid(grid)):
+        local, remote, miss = result.llc_breakdown()
+        total = max(1, local + remote + miss)
+        rows.append({
+            "workload": SCALEOUT_LABELS.get(wname, wname),
+            "system": SYSTEM_LABELS[sname],
+            "local_hits": local / total,
+            "remote_hits": remote / total,
+            "offchip_misses": miss / total,
+        })
     return rows
 
 

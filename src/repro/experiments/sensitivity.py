@@ -3,14 +3,16 @@
 Fig. 1 sweeps the shared LLC capacity from 8 MB to 1 GB at the
 baseline's access latency ("for larger LLC capacities, the access
 latency is unchanged from the baseline design").  Fig. 2 re-evaluates
-each capacity under +0%..+100% LLC access latency; because the
-simulator records raw per-level latency sums, the latency sweep is
-closed-form over one simulation per capacity.
+each capacity under +0%..+100% LLC access latency; because the run
+summaries keep raw per-level latency sums, the latency sweep is
+closed-form over one simulated point per capacity -- and Fig. 2's 8 MB
+and 64-1024 MB points are the same points Fig. 1 sweeps, so a shared
+run cache simulates them once across both figures.
 """
 
 from repro import params as P
 from repro.core.systems import baseline_config
-from repro.sim.driver import simulate
+from repro.sim.engine import RunRequest, run_grid
 from repro.workloads.scaleout import SCALEOUT_WORKLOADS, SCALEOUT_LABELS
 from repro.experiments.common import (resolve_plan, geomean, DEFAULT_SCALE,
                                       DEFAULT_SEED)
@@ -23,11 +25,11 @@ FIG2_CAPACITIES_MB = (64, 128, 256, 512, 1024)
 FIG2_LATENCY_INCREASES = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
 
 
-def _capacity_run(workload, capacity_mb, plan, scale, seed):
+def _capacity_request(workload, capacity_mb, plan, scale, seed):
     config = baseline_config(
         scale=scale, llc_size_bytes=capacity_mb * P.MB,
         name="baseline_%dmb" % capacity_mb)
-    return simulate(config, workload, plan, seed=seed)
+    return RunRequest.point(config, workload, plan, seed)
 
 
 def fig1_capacity(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
@@ -37,20 +39,21 @@ def fig1_capacity(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
     plan = resolve_plan(plan)
     if workloads is None:
         workloads = list(SCALEOUT_WORKLOADS)
+    points = [(name, cap) for name in workloads for cap in capacities_mb]
+    grid = [_capacity_request(SCALEOUT_WORKLOADS[name], cap, plan, scale,
+                              seed)
+            for name, cap in points]
     rows = []
-    for name in workloads:
-        spec = SCALEOUT_WORKLOADS[name]
-        base_perf = None
-        for cap in capacities_mb:
-            result = _capacity_run(spec, cap, plan, scale, seed)
-            perf = result.performance()
-            if base_perf is None:
-                base_perf = perf
-            rows.append({
-                "workload": SCALEOUT_LABELS.get(name, name),
-                "capacity_mb": cap,
-                "normalized_performance": perf / base_perf,
-            })
+    base_perf = {}
+    for (name, cap), result in zip(points, run_grid(grid)):
+        perf = result.performance()
+        if name not in base_perf:
+            base_perf[name] = perf
+        rows.append({
+            "workload": SCALEOUT_LABELS.get(name, name),
+            "capacity_mb": cap,
+            "normalized_performance": perf / base_perf[name],
+        })
     return rows
 
 
@@ -62,15 +65,18 @@ def fig2_latency(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
     baseline at +0%."""
     plan = resolve_plan(plan)
     workloads = list(SCALEOUT_WORKLOADS)
-    # One 8 MB run per workload for the normalization denominator.
-    base = {name: _capacity_run(SCALEOUT_WORKLOADS[name], 8, plan, scale,
-                                seed).performance()
-            for name in workloads}
+    # One point per (capacity, workload); the 8 MB column is the
+    # normalization denominator.
+    caps = (8,) + tuple(capacities_mb)
+    points = [(cap, name) for cap in caps for name in workloads]
+    grid = [_capacity_request(SCALEOUT_WORKLOADS[name], cap, plan, scale,
+                              seed)
+            for cap, name in points]
+    by_point = dict(zip(points, run_grid(grid)))
+    base = {name: by_point[(8, name)].performance() for name in workloads}
     rows = []
     for cap in capacities_mb:
-        results = {name: _capacity_run(SCALEOUT_WORKLOADS[name], cap, plan,
-                                       scale, seed)
-                   for name in workloads}
+        results = {name: by_point[(cap, name)] for name in workloads}
         for inc in increases:
             ratios = [results[n].performance_with_llc_scale(1.0 + inc)
                       / base[n] for n in workloads]

@@ -9,17 +9,11 @@ form from the recorded RW-shared latency sums.
 """
 
 from repro.core.systems import baseline_config
-from repro.sim.driver import simulate
+from repro.sim.engine import RunRequest, run_grid
 from repro.workloads.scaleout import SCALEOUT_WORKLOADS, SCALEOUT_LABELS
 from repro.experiments.common import resolve_plan, DEFAULT_SCALE, DEFAULT_SEED
 
 RW_MULTIPLIERS = (1.0, 2.0, 3.0, 4.0)
-
-
-def _sharing_run(name, plan, scale, seed):
-    spec = SCALEOUT_WORKLOADS[name]
-    return simulate(baseline_config(scale=scale), spec, plan, seed=seed,
-                    track_sharing=True)
 
 
 def fig3_breakdown(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
@@ -28,10 +22,13 @@ def fig3_breakdown(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
     plan = resolve_plan(plan)
     if workloads is None:
         workloads = list(SCALEOUT_WORKLOADS)
+    grid = [RunRequest.point(baseline_config(scale=scale),
+                             SCALEOUT_WORKLOADS[name], plan, seed,
+                             track_sharing=True)
+            for name in workloads]
     rows = []
-    for name in workloads:
-        result = _sharing_run(name, plan, scale, seed)
-        reads, w_nosh, w_rw = result.system.sharing_breakdown()
+    for name, result in zip(workloads, run_grid(grid)):
+        reads, w_nosh, w_rw = result.sharing
         total = reads + w_nosh + w_rw
         if total == 0:
             total = 1
@@ -47,15 +44,16 @@ def fig3_breakdown(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
 def fig4_rw_latency(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
                     workloads=None, multipliers=RW_MULTIPLIERS):
     """Fig. 4: performance (normalized to 1x) when RW-shared blocks'
-    access latency is multiplied by 1x-4x."""
+    access latency is multiplied by 1x-4x (closed-form re-evaluation
+    from one simulated point per workload)."""
     plan = resolve_plan(plan)
     if workloads is None:
         workloads = list(SCALEOUT_WORKLOADS)
+    grid = [RunRequest.point(baseline_config(scale=scale),
+                             SCALEOUT_WORKLOADS[name], plan, seed)
+            for name in workloads]
     rows = []
-    for name in workloads:
-        spec = SCALEOUT_WORKLOADS[name]
-        result = simulate(baseline_config(scale=scale), spec, plan,
-                          seed=seed)
+    for name, result in zip(workloads, run_grid(grid)):
         base = result.performance_with_rw_multiplier(1.0)
         for mult in multipliers:
             perf = result.performance_with_rw_multiplier(mult)

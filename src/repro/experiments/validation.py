@@ -16,7 +16,7 @@ from repro.params import MB
 from repro.core.systems import baseline_config
 from repro.cores.perf_model import (LEVEL_L1, LEVEL_L2, LEVEL_LLC_LOCAL,
                                     LEVEL_LLC_REMOTE)
-from repro.sim.driver import simulate
+from repro.sim.engine import RunRequest, run_grid
 from repro.workloads.analysis import max_data_hit_fraction
 from repro.workloads.scaleout import SCALEOUT_WORKLOADS, SCALEOUT_LABELS
 from repro.experiments.common import resolve_plan, DEFAULT_SCALE, DEFAULT_SEED
@@ -25,8 +25,7 @@ from repro.experiments.common import resolve_plan, DEFAULT_SCALE, DEFAULT_SEED
 def _simulated_data_hit_fraction(result):
     """Fraction of data references served on chip (any cache level)."""
     hits = total = 0
-    for c in result.core_ids:
-        core = result.system.cores[c]
+    for core in result.cores:
         counts = core.data_count
         on_chip = (counts[LEVEL_L1] + counts[LEVEL_L2]
                    + counts[LEVEL_LLC_LOCAL] + counts[LEVEL_LLC_REMOTE])
@@ -44,14 +43,16 @@ def validate_hit_rates(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
     plan = resolve_plan(plan)
     if workloads is None:
         workloads = list(SCALEOUT_WORKLOADS)
+    grid = [RunRequest.point(
+                baseline_config(scale=scale,
+                                llc_size_bytes=capacity_mb * MB),
+                SCALEOUT_WORKLOADS[wname], plan, seed)
+            for wname in workloads]
     rows = []
-    for wname in workloads:
+    for wname, result in zip(workloads, run_grid(grid)):
         spec = SCALEOUT_WORKLOADS[wname]
         analytic = max_data_hit_fraction(spec, capacity_mb * MB,
                                          scale=scale)
-        result = simulate(
-            baseline_config(scale=scale, llc_size_bytes=capacity_mb * MB),
-            spec, plan, seed=seed)
         simulated = _simulated_data_hit_fraction(result)
         rows.append({
             "workload": SCALEOUT_LABELS.get(wname, wname),

@@ -45,6 +45,13 @@ class ObservationSession:
         if self.collect_manifests:
             self.runs.append(result.manifest(seed=seed))
 
+    def note_summary(self, summary):
+        """Record a run that finished without a live System in this
+        process -- restored from the run cache or simulated in a pool
+        worker (called by :class:`repro.sim.engine.RunEngine`)."""
+        if self.collect_manifests:
+            self.runs.append(summary.manifest())
+
 
 _current = None
 

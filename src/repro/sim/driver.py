@@ -25,13 +25,25 @@ DEFAULT_CHUNK = 200
 
 
 def _per_core_state(system, traces):
+    """Pre-decode each trace's event stream for the hot loop: the write
+    and ifetch flags are split into their own lanes and the stall-time
+    multiplier (ifetch_stall_factor for ifetches, 1/mlp for data) is
+    resolved per event, so ``_drive`` does no per-event flag tests or
+    attribute lookups.  Multiplier values and operand order match the
+    original ``lat * iff if fl & 2 else lat * inv_mlp`` expression
+    exactly, so timing is bit-identical."""
     out = []
     for tr in traces:
         p = system.cores[tr.core_id].params
+        inv_mlp = 1.0 / p.mlp
+        iff = p.ifetch_stall_factor
+        flags = tr.flags
+        writes = [fl & 1 for fl in flags]
+        ifetches = [fl & 2 for fl in flags]
+        lat_mul = [iff if fl & 2 else inv_mlp for fl in flags]
         out.append((
-            tr.core_id, tr.blocks, tr.flags,
+            tr.core_id, tr.blocks, writes, ifetches, lat_mul,
             tr.instr_per_event * p.base_cpi,
-            1.0 / p.mlp, p.ifetch_stall_factor,
         ))
     return out
 
@@ -44,7 +56,7 @@ def _drive(system, per_core, starts, ends, times, chunk):
     positions = list(starts)
     remaining = sum(e - s for s, e in zip(starts, ends))
     while remaining > 0:
-        for idx, (core, blocks, flags, cpi_ev, inv_mlp, iff) in \
+        for idx, (core, blocks, writes, ifetches, lat_mul, cpi_ev) in \
                 enumerate(per_core):
             pos = positions[idx]
             hi = min(pos + chunk, ends[idx])
@@ -52,11 +64,10 @@ def _drive(system, per_core, starts, ends, times, chunk):
                 continue
             t = times[core]
             for i in range(pos, hi):
-                fl = flags[i]
-                lat = access(core, blocks[i], fl & 1, fl & 2, t)
+                lat = access(core, blocks[i], writes[i], ifetches[i], t)
                 t += cpi_ev
                 if lat:
-                    t += lat * iff if fl & 2 else lat * inv_mlp
+                    t += lat * lat_mul[i]
             times[core] = t
             remaining -= hi - pos
             positions[idx] = hi

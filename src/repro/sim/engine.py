@@ -1,0 +1,726 @@
+"""Parallel, memoized run engine for experiment grids.
+
+Every figure in the reproduction is a grid of *independent,
+deterministic* simulation points: a system configuration, a workload
+placement, a sampling plan and a seed fully determine the result.  The
+engine exploits exactly that:
+
+* a :class:`RunRequest` is the canonical, hashable description of one
+  point (it also covers heterogeneous colocation placements, so the
+  SPEC mixes and the isolation study key the same way);
+* :class:`RunEngine` fans a batch of requests out over a
+  ``ProcessPoolExecutor`` (``--jobs N`` / ``$REPRO_JOBS``; ``jobs=1``
+  is a plain in-process loop), deduplicating identical points first;
+* a :class:`RunCache` memoizes finished points on disk, keyed by a
+  content hash of the request *and* a fingerprint of the simulator's
+  own source (git sha + per-file digests), so results survive across
+  figures and sessions but never across code changes;
+* a :class:`RunSummary` is the picklable, JSON-able result of one
+  point -- per-core per-level latency sums and counts, latency
+  histograms, retired instructions, RW-shared splits, system counters,
+  the energy breakdown -- rich enough that every re-evaluation helper
+  of :class:`~repro.sim.driver.RunResult` (``performance`` under level
+  scaling, RW-shared multipliers, ...) re-runs from the summary without
+  re-simulating.
+
+Experiment modules declare their grids and call :func:`run_grid`; the
+CLI installs a configured engine with :func:`use_engine`.  When no
+engine is installed, a default one is built from the environment
+(``$REPRO_JOBS``, ``$REPRO_CACHE_DIR``) -- serial and cache-less unless
+those are set, so library calls and the test suite stay hermetic.
+
+Observation sessions interact with the engine as follows: a session
+that collects stats or traces needs live ``System`` objects, so the
+engine bypasses the cache and the process pool and simulates in-process
+(results are bit-identical either way; sessions stay inert).  A session
+that only collects manifests works in every mode -- points executed
+in-process are recorded by ``run_system`` as before, while cached and
+worker-executed points are recorded from their summaries.
+"""
+
+import functools
+import hashlib
+import json
+import os
+import pickle
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cores.perf_model import (
+    CoreParams, NUM_LEVELS, LEVEL_NAMES, LEVEL_LLC_LOCAL,
+    LEVEL_LLC_REMOTE, LEVEL_DRAM_CACHE, LEVEL_MEMORY)
+from repro.obs import manifest as _manifest
+from repro.obs import session as _obs_session
+from repro.obs.stats import Distribution, Group
+from repro.sim.config import HierarchyConfig, LLC_PRIVATE_VAULT
+from repro.sim.driver import DEFAULT_CHUNK, run_system
+from repro.sim.sampling import SamplingPlan
+from repro.workloads.base import WorkloadSpec
+
+#: Bump when RunSummary's shape or the request canonicalization
+#: changes: stale cache entries must not satisfy new-schema lookups.
+ENGINE_SCHEMA = "silo-repro-runsummary/1"
+
+#: Default on-disk cache location (the CLI's default; library use only
+#: caches when $REPRO_CACHE_DIR is set -- see resolve_cache_dir).
+DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "silo-repro")
+
+
+# ---------------------------------------------------------------------------
+# request keying
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Canonical description of one simulation point.
+
+    ``placements`` assigns workloads to cores: a single entry covering
+    all (or a subset of) cores for homogeneous runs, several disjoint
+    entries for colocation.  Cores outside every placement exist but
+    are not driven (their params default to :class:`CoreParams`),
+    matching the isolation study's idle cores.
+    """
+
+    config: HierarchyConfig
+    placements: Tuple[Tuple[WorkloadSpec, Tuple[int, ...]], ...]
+    plan: SamplingPlan
+    seed: int
+    colocated: bool = False
+    track_sharing: bool = False
+    chunk: int = DEFAULT_CHUNK
+
+    @classmethod
+    def point(cls, config, spec, plan, seed, core_ids=None,
+              track_sharing=False, chunk=DEFAULT_CHUNK):
+        """A homogeneous point: ``spec`` on all cores (or ``core_ids``),
+        exactly like :func:`repro.sim.driver.simulate`."""
+        if core_ids is None:
+            core_ids = tuple(range(config.num_cores))
+        return cls(config=config, placements=((spec, tuple(core_ids)),),
+                   plan=plan, seed=seed, colocated=False,
+                   track_sharing=track_sharing, chunk=chunk)
+
+    @classmethod
+    def colocation(cls, config, assignments, plan, seed,
+                   chunk=DEFAULT_CHUNK):
+        """A heterogeneous point: ``assignments`` is a list of
+        ``(spec, core_ids)`` pairs with disjoint core sets, exactly like
+        :func:`repro.workloads.colocation.generate_colocation_traces`."""
+        placements = tuple((spec, tuple(ids))
+                           for spec, ids in assignments)
+        return cls(config=config, placements=placements, plan=plan,
+                   seed=seed, colocated=True, track_sharing=False,
+                   chunk=chunk)
+
+    def canonical(self):
+        """JSON-native dict that fully determines the simulation."""
+        return {
+            "config": asdict(self.config),
+            "placements": [
+                {"spec": asdict(spec), "core_ids": list(ids)}
+                for spec, ids in self.placements],
+            "plan": asdict(self.plan),
+            "seed": self.seed,
+            "colocated": self.colocated,
+            "track_sharing": self.track_sharing,
+            "chunk": self.chunk,
+        }
+
+    def key(self, fingerprint=""):
+        """Content-address of this point under a code fingerprint."""
+        blob = json.dumps({"schema": ENGINE_SCHEMA, "code": fingerprint,
+                           "request": self.canonical()},
+                          sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint():
+    """Digest of the simulator's own source: the git sha plus a sha256
+    over every ``repro`` package file's contents.  Hashing file contents
+    (not just the sha) keeps dirty working trees from replaying stale
+    cache entries."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    h = hashlib.sha256()
+    h.update((_manifest.git_sha() or "no-git").encode("utf-8"))
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            h.update(os.path.relpath(path, root).encode("utf-8"))
+            with open(path, "rb") as f:
+                h.update(hashlib.sha256(f.read()).digest())
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# run summaries
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CoreSummary:
+    """One driven core's measurement window, detached from the live
+    CoreModel.  The evaluation methods replicate CoreModel's arithmetic
+    operation-for-operation so re-evaluated metrics are bit-identical
+    to the live object's."""
+
+    core_id: int
+    instructions: int
+    base_cpi: float
+    mlp: float
+    ifetch_stall_factor: float
+    data_latency: List[float]
+    data_count: List[int]
+    ifetch_latency: List[float]
+    ifetch_count: List[int]
+    rw_shared_latency: float
+    rw_shared_count: int
+    #: Per service level: {"max_bucket", "buckets", "count", "total",
+    #: "min", "max"} -- a Distribution's full state.
+    latency_hist: List[dict] = field(default_factory=list)
+
+    def stall_cycles(self, level_scale=None, rw_shared_extra_factor=0.0):
+        data = 0.0
+        ifetch = 0.0
+        if level_scale is None:
+            data = sum(self.data_latency)
+            ifetch = sum(self.ifetch_latency)
+        else:
+            for lvl in range(NUM_LEVELS):
+                data += self.data_latency[lvl] * level_scale[lvl]
+                ifetch += self.ifetch_latency[lvl] * level_scale[lvl]
+        data += self.rw_shared_latency * rw_shared_extra_factor
+        return ifetch * self.ifetch_stall_factor + data / self.mlp
+
+    def cycles(self, level_scale=None, rw_shared_extra_factor=0.0):
+        return (self.instructions * self.base_cpi
+                + self.stall_cycles(level_scale, rw_shared_extra_factor))
+
+    def ipc(self, level_scale=None, rw_shared_extra_factor=0.0):
+        cyc = self.cycles(level_scale, rw_shared_extra_factor)
+        return self.instructions / cyc if cyc > 0 else 0.0
+
+
+def _hist_state(dist):
+    return {"max_bucket": dist.max_bucket,
+            "buckets": list(dist.buckets),
+            "count": dist.count, "total": dist.total,
+            "min": dist.min, "max": dist.max}
+
+
+def _hist_restore(state, name="latency", desc=""):
+    dist = Distribution(name, desc=desc, max_bucket=state["max_bucket"])
+    dist.buckets = list(state["buckets"])
+    dist.count = state["count"]
+    dist.total = state["total"]
+    dist.min = state["min"]
+    dist.max = state["max"]
+    return dist
+
+
+@dataclass
+class RunSummary:
+    """Everything an experiment can ask of a finished point, in plain
+    picklable/JSON-able data (no live System attached).
+
+    Mirrors :class:`~repro.sim.driver.RunResult`'s evaluation API;
+    values are bit-identical to the live object's because the same
+    sums feed the same arithmetic.
+    """
+
+    schema: str
+    request_key: str
+    config: dict                  # asdict(HierarchyConfig)
+    seed: Optional[int]
+    core_ids: List[int]
+    warmup_events: int
+    measure_events: int
+    warmup_wall_s: float
+    measure_wall_s: float
+    cores: List[CoreSummary]
+    #: System-level counters of the measurement window.
+    counters: dict
+    #: (reads, writes_nosharing, writes_rwsharing) when the request
+    #: asked for sharing classification, else None.
+    sharing: Optional[Tuple[int, int, int]]
+    #: Default EnergyModel breakdown of the window (Table III units).
+    energy: dict
+
+    # -- performance (RunResult mirror) --------------------------------
+
+    def per_core_ipc(self, level_scale=None, rw_shared_extra_factor=0.0):
+        return [c.ipc(level_scale, rw_shared_extra_factor)
+                for c in self.cores]
+
+    def performance(self, level_scale=None, rw_shared_extra_factor=0.0):
+        return sum(self.per_core_ipc(level_scale,
+                                     rw_shared_extra_factor))
+
+    def performance_with_llc_scale(self, factor):
+        scale = [1.0] * NUM_LEVELS
+        scale[LEVEL_LLC_LOCAL] = factor
+        scale[LEVEL_LLC_REMOTE] = factor
+        return self.performance(level_scale=scale)
+
+    def performance_with_rw_multiplier(self, multiplier):
+        return self.performance(rw_shared_extra_factor=multiplier - 1.0)
+
+    def ipc_of(self, core_ids):
+        """Aggregate IPC of a subset of the driven cores (Table VI)."""
+        by_id = {c.core_id: c for c in self.cores}
+        return sum(by_id[c].ipc() for c in core_ids)
+
+    # -- memory system statistics --------------------------------------
+
+    def _sum_counts(self, attr):
+        totals = [0] * NUM_LEVELS
+        for c in self.cores:
+            counts = getattr(c, attr)
+            for lvl in range(NUM_LEVELS):
+                totals[lvl] += counts[lvl]
+        return totals
+
+    def level_counts(self):
+        d = self._sum_counts("data_count")
+        i = self._sum_counts("ifetch_count")
+        return [d[lvl] + i[lvl] for lvl in range(NUM_LEVELS)]
+
+    def instructions(self):
+        return sum(c.instructions for c in self.cores)
+
+    def llc_breakdown(self):
+        counts = self.level_counts()
+        local = counts[LEVEL_LLC_LOCAL]
+        remote = counts[LEVEL_LLC_REMOTE]
+        miss = counts[LEVEL_DRAM_CACHE] + counts[LEVEL_MEMORY]
+        return local, remote, miss
+
+    def llc_mpki(self):
+        instrs = self.instructions()
+        if instrs == 0:
+            return 0.0
+        _, _, miss = self.llc_breakdown()
+        return 1000.0 * miss / instrs
+
+    def max_core_cycles(self):
+        """Slowest driven core's cycle count (the measured window's
+        wall clock in core cycles, Fig. 13)."""
+        return max(c.cycles() for c in self.cores)
+
+    def llc_power_w(self, seconds):
+        """Average LLC power over ``seconds`` (static + dynamic)."""
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        return (self.energy["llc_static_w"]
+                + self.energy["llc_dynamic_nj"] * 1e-9 / seconds)
+
+    # -- observability -------------------------------------------------
+
+    def driven_events(self):
+        return self.measure_events * len(self.core_ids)
+
+    def events_per_sec(self):
+        if self.measure_wall_s <= 0:
+            return 0.0
+        return self.driven_events() / self.measure_wall_s
+
+    def latency_percentiles(self):
+        out = {}
+        for lvl, name in enumerate(LEVEL_NAMES):
+            merged = Distribution("latency", desc=name)
+            for c in self.cores:
+                merged.merge(_hist_restore(c.latency_hist[lvl]))
+            if merged.count:
+                out[name] = merged.value()
+        return out
+
+    def manifest(self):
+        """Provenance record comparable to ``RunResult.manifest()``
+        (without live-System extras like the stats snapshot)."""
+        data = {
+            "schema": _manifest.MANIFEST_SCHEMA,
+            "git_sha": _manifest.git_sha(),
+            "config": dict(self.config),
+            "scale": self.config.get("scale"),
+            "seed": self.seed,
+            "sampling": {"warmup_events": self.warmup_events,
+                         "measure_events": self.measure_events},
+            "wall_clock": {"warmup_s": self.warmup_wall_s,
+                           "measure_s": self.measure_wall_s},
+            "throughput": {"driven_events": self.driven_events(),
+                           "events_per_sec": self.events_per_sec()},
+            "performance": self.performance(),
+            "latency_percentiles": self.latency_percentiles(),
+            "engine": {"request_key": self.request_key},
+        }
+        if self.config.get("llc_kind") == LLC_PRIVATE_VAULT:
+            data["protocol_provenance"] = _manifest.protocol_provenance()
+        return data
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self):
+        """JSON-native dict (``from_dict`` round-trips it exactly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        data["cores"] = [CoreSummary(**c) for c in data["cores"]]
+        if data.get("sharing") is not None:
+            data["sharing"] = tuple(data["sharing"])
+        return cls(**data)
+
+
+def summarize(result, request_key=""):
+    """Build a :class:`RunSummary` from a live RunResult."""
+    from repro.energy.model import EnergyModel
+
+    sys_ = result.system
+    cores = []
+    for c in result.core_ids:
+        core = sys_.cores[c]
+        p = core.params
+        cores.append(CoreSummary(
+            core_id=c,
+            instructions=core.instructions,
+            base_cpi=p.base_cpi,
+            mlp=p.mlp,
+            ifetch_stall_factor=p.ifetch_stall_factor,
+            data_latency=list(core.data_latency),
+            data_count=list(core.data_count),
+            ifetch_latency=list(core.ifetch_latency),
+            ifetch_count=list(core.ifetch_count),
+            rw_shared_latency=core.rw_shared_latency,
+            rw_shared_count=core.rw_shared_count,
+            latency_hist=[_hist_state(h) for h in core.latency_hist],
+        ))
+    counters = {
+        "llc_accesses": sys_.llc_accesses,
+        "dram_cache_accesses": sys_.dram_cache_accesses,
+        "invalidations": sys_.invalidations,
+        "l1_writebacks": sys_.l1_writebacks,
+        "llc_writebacks": sys_.llc_writebacks,
+        "vault_evictions": sys_.vault_evictions,
+        "directory_lookups": sys_.directory_lookups,
+        "remote_forwards": sys_.remote_forwards,
+        "replica_hits": sys_.replica_hits,
+        "prefetch_fills": sys_.prefetch_fills,
+        "link_traversals": sys_.mesh.link_traversals,
+        "memory_accesses": sys_.memory.accesses,
+        "memory_reads": sys_.memory.reads,
+        "memory_writes": sys_.memory.writes,
+    }
+    sharing = sys_.sharing_breakdown() if sys_.track_sharing else None
+    bd = EnergyModel().breakdown(sys_)
+    energy = {
+        "llc_dynamic_nj": bd.llc_dynamic_nj,
+        "memory_dynamic_nj": bd.memory_dynamic_nj,
+        "total_dynamic_nj": bd.total_dynamic_nj,
+        "llc_static_w": bd.llc_static_w,
+        "memory_static_w": bd.memory_static_w,
+    }
+    return RunSummary(
+        schema=ENGINE_SCHEMA,
+        request_key=request_key,
+        config=asdict(sys_.config),
+        seed=None,
+        core_ids=list(result.core_ids),
+        warmup_events=result.warmup_events,
+        measure_events=result.measure_events,
+        warmup_wall_s=result.warmup_wall_s,
+        measure_wall_s=result.measure_wall_s,
+        cores=cores,
+        counters=counters,
+        sharing=sharing,
+        energy=energy,
+    )
+
+
+# ---------------------------------------------------------------------------
+# point execution (also the process-pool worker)
+# ---------------------------------------------------------------------------
+
+
+def execute_request(request):
+    """Simulate one point; returns the live RunResult.
+
+    This is the single source of truth for how a RunRequest turns into
+    a simulation -- the serial path, the pool workers and the
+    determinism tests all go through it.
+    """
+    from repro.sim.system import System
+    from repro.workloads.colocation import generate_colocation_traces
+    from repro.workloads.generator import generate_traces
+
+    config = request.config
+    plan = request.plan
+    core_params = [None] * config.num_cores
+    for spec, core_ids in request.placements:
+        for c in core_ids:
+            core_params[c] = spec.core
+    idle = CoreParams()
+    core_params = [p if p is not None else idle for p in core_params]
+    system = System(config, core_params)
+    system.track_sharing = request.track_sharing
+    if request.colocated:
+        traces, _layouts = generate_colocation_traces(
+            [(spec, list(ids)) for spec, ids in request.placements],
+            events_per_core=plan.total_events, scale=config.scale,
+            seed=request.seed)
+    else:
+        ((spec, core_ids),) = request.placements
+        traces, layout = generate_traces(
+            spec, num_cores=len(core_ids),
+            events_per_core=plan.total_events, scale=config.scale,
+            seed=request.seed, core_ids=list(core_ids))
+        system.rw_shared_range = layout.rw_shared_range
+    return run_system(system, traces, plan.warmup_events,
+                      plan.measure_events, request.chunk,
+                      seed=request.seed)
+
+
+def _execute_to_summary(request, request_key):
+    summary = summarize(execute_request(request), request_key)
+    summary.seed = request.seed
+    return summary
+
+
+def _pool_worker(payload):
+    """Top-level (picklable) ProcessPoolExecutor entry point."""
+    request, request_key = payload
+    return _execute_to_summary(request, request_key)
+
+
+# ---------------------------------------------------------------------------
+# on-disk cache
+# ---------------------------------------------------------------------------
+
+
+class RunCache:
+    """Content-addressed pickle store of RunSummaries.
+
+    Entries live at ``<dir>/<key[:2]>/<key>.pkl``; writes go through a
+    temp file + ``os.replace`` so concurrent engines only ever see
+    complete entries.  Unreadable or stale-schema entries read as
+    misses (and are left for a future overwrite)."""
+
+    def __init__(self, directory):
+        self.directory = os.path.abspath(os.path.expanduser(directory))
+
+    def path_for(self, key):
+        return os.path.join(self.directory, key[:2], key + ".pkl")
+
+    def get(self, key):
+        try:
+            with open(self.path_for(key), "rb") as f:
+                summary = pickle.load(f)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            return None
+        if (not isinstance(summary, RunSummary)
+                or summary.schema != ENGINE_SCHEMA):
+            return None
+        return summary
+
+    def put(self, key, summary):
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp.%d" % os.getpid()
+        with open(tmp, "wb") as f:
+            pickle.dump(summary, f, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+
+def resolve_cache_dir(default=None):
+    """Cache directory policy: ``$REPRO_CACHE_DIR`` wins (empty string
+    disables caching entirely), else ``default`` (the CLI passes
+    ``DEFAULT_CACHE_DIR``; library use passes None -> no cache)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is not None:
+        return os.path.expanduser(env) if env else None
+    return os.path.expanduser(default) if default else None
+
+
+def jobs_from_env():
+    """Worker count from ``$REPRO_JOBS`` (default 1 = serial)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError("REPRO_JOBS must be an integer, got %r"
+                         % raw) from None
+    return max(1, jobs)
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+
+class RunEngine:
+    """Executes batches of RunRequests with dedup, memoization and
+    process fan-out; accumulates its own observability counters in a
+    stats registry group (recorded into experiment manifests)."""
+
+    def __init__(self, jobs=None, cache=None):
+        self.jobs = max(1, int(jobs)) if jobs is not None \
+            else jobs_from_env()
+        self.cache = cache
+        self.fingerprint = code_fingerprint()
+        self.requests = 0
+        self.unique_points = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.executed = 0
+        self.exec_wall_s = 0.0
+        self.driven_events = 0
+        self.stats = self._build_stats()
+
+    def _build_stats(self):
+        g = Group("engine", "run engine throughput and memoization")
+        g.bind(self, "jobs", desc="process-pool width (1 = serial)",
+               resettable=False)
+        g.bind(self, "requests", desc="points requested by experiments")
+        g.bind(self, "unique_points",
+               desc="distinct points after in-batch dedup")
+        g.bind(self, "cache_hits", desc="points restored from RunCache")
+        g.bind(self, "cache_misses",
+               desc="cache lookups that missed (then simulated)")
+        g.bind(self, "executed", desc="points actually simulated")
+        g.bind(self, "exec_wall_s",
+               desc="wall-clock seconds spent executing points")
+        g.bind(self, "driven_events",
+               desc="measured events driven across executed points")
+        g.formula("events_per_sec", self.events_per_sec,
+                  desc="engine-level simulation throughput")
+        return g
+
+    def events_per_sec(self):
+        if self.exec_wall_s <= 0:
+            return 0.0
+        return self.driven_events / self.exec_wall_s
+
+    def snapshot(self):
+        """The engine stats group as a plain dict (manifest-ready)."""
+        snap = self.stats.snapshot()
+        snap["cache_dir"] = (self.cache.directory
+                             if self.cache is not None else None)
+        return snap
+
+    def run(self, requests):
+        """Execute a batch; returns RunSummaries aligned with
+        ``requests`` (duplicates share one simulation)."""
+        requests = list(requests)
+        self.requests += len(requests)
+        session = _obs_session.current_session()
+        # Stats/trace collection needs live Systems: force in-process
+        # execution and skip cache reads so every point simulates.
+        live_only = session is not None and (
+            session.trace_capacity > 0 or session.collect_stats)
+
+        keys = [req.key(self.fingerprint) for req in requests]
+        order = []
+        by_key = {}
+        for req, key in zip(requests, keys):
+            if key not in by_key:
+                by_key[key] = req
+                order.append(key)
+        self.unique_points += len(order)
+
+        summaries = {}
+        missing = []
+        for key in order:
+            cached = None
+            if self.cache is not None and not live_only:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
+            if cached is not None:
+                summaries[key] = cached
+                if session is not None:
+                    session.note_summary(cached)
+            else:
+                missing.append(key)
+
+        if missing:
+            t0 = time.perf_counter()
+            in_process = (self.jobs <= 1 or live_only
+                          or len(missing) <= 1)
+            if in_process:
+                # run_system records these into the session itself
+                # (tracer attach, rich manifests) -- no double noting.
+                executed = [_execute_to_summary(by_key[k], k)
+                            for k in missing]
+            else:
+                executed = self._run_pool([(by_key[k], k)
+                                           for k in missing])
+                if session is not None:
+                    for summary in executed:
+                        session.note_summary(summary)
+            self.exec_wall_s += time.perf_counter() - t0
+            for key, summary in zip(missing, executed):
+                summaries[key] = summary
+                self.executed += 1
+                self.driven_events += summary.driven_events()
+                if self.cache is not None and not live_only:
+                    self.cache.put(key, summary)
+        return [summaries[key] for key in keys]
+
+    def _run_pool(self, payloads):
+        from concurrent.futures import ProcessPoolExecutor
+        workers = min(self.jobs, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_pool_worker, payloads))
+
+
+# ---------------------------------------------------------------------------
+# ambient engine (how experiment functions find it)
+# ---------------------------------------------------------------------------
+
+
+_current = None
+
+
+def current_engine():
+    """The installed engine, or None when nothing is installed."""
+    return _current
+
+
+@contextmanager
+def use_engine(engine):
+    """Install ``engine`` as the ambient one for the block (the CLI
+    wraps each experiment invocation in this)."""
+    global _current
+    prev = _current
+    _current = engine
+    try:
+        yield engine
+    finally:
+        _current = prev
+
+
+def engine_from_env():
+    """Default engine for direct library calls: ``$REPRO_JOBS`` workers
+    and a cache only if ``$REPRO_CACHE_DIR`` names one."""
+    directory = resolve_cache_dir(default=None)
+    cache = RunCache(directory) if directory else None
+    return RunEngine(jobs=None, cache=cache)
+
+
+def run_grid(requests):
+    """Run a batch of points through the ambient engine (building an
+    environment-default engine when none is installed)."""
+    engine = _current if _current is not None else engine_from_env()
+    return engine.run(requests)

@@ -329,7 +329,11 @@ class System:
                 self._miss_private(core, candidate, False, True, self.now)
         finally:
             self.measuring = measuring
-        self.prefetch_fills += 1
+        # Like every other statistic, prefetch fills only count inside
+        # the measurement window (the saved flag: the nested miss above
+        # runs with measuring forced off).
+        if measuring:
+            self.prefetch_fills += 1
 
     # ------------------------------------------------------------------
     # write upgrades (store hits on non-M lines)

@@ -27,6 +27,15 @@ silolint encodes those contracts as ``ast``-level rules:
 * **SL005** -- ``==``/``!=`` against a float literal in the same
   timing-affecting packages: clock arithmetic accumulates rounding, so
   float equality is either dead or flaky.
+* **SL006** -- module-level mutable state in the process-fan-out scope
+  (``sim``, ``caches``): an empty container display (``{}``/``[]``) or
+  a mutable-constructor call (``set()``, ``dict()``, ``list()``,
+  ``defaultdict(...)``, ...) bound at module scope is an accumulator
+  waiting to happen.  The run engine executes points in worker
+  processes; each worker mutates its *own copy* of such state, so
+  results silently diverge between serial and parallel runs.  Populated
+  literal tables (``PRESETS = {"quick": ...}``) are immutable by
+  convention and stay exempt.
 
 A finding on a given line is silenced with a trailing
 ``# silolint: disable=SL001`` (comma-separate several codes, or
@@ -51,12 +60,21 @@ RULES = {
     "SL003": "hard-coded latency/size constant bypassing repro.params",
     "SL004": "iteration over an unordered set in timing-affecting code",
     "SL005": "float equality comparison in timing-affecting code",
+    "SL006": "module-level mutable state that breaks process fan-out",
 }
 
 #: Packages whose code paths decide timing (SL004/SL005 scope).
 TIMING_DIRS = frozenset(("sim", "caches", "coherence", "noc", "memory"))
 #: Packages that must take latencies/sizes from repro.params (SL003).
 PARAMS_DIRS = frozenset(("sim", "caches", "noc", "memory"))
+#: Packages the run engine fans out across processes (SL006 scope):
+#: module-level mutable state there diverges per worker.
+FANOUT_DIRS = frozenset(("sim", "caches"))
+
+#: Constructor names whose module-level call yields mutable state.
+_MUTABLE_CONSTRUCTORS = frozenset((
+    "set", "dict", "list", "bytearray", "defaultdict", "deque",
+    "Counter", "OrderedDict"))
 
 #: One finding.
 Violation = namedtuple("Violation", "file line col rule message")
@@ -152,6 +170,10 @@ class _FileLinter(ast.NodeVisitor):
         self.in_timing = bool(TIMING_DIRS & path_parts)
         self.in_params_scope = (bool(PARAMS_DIRS & path_parts)
                                 and os.path.basename(path) != "params.py")
+        self.in_fanout_scope = bool(FANOUT_DIRS & path_parts)
+        # Statements directly at module scope (SL006 only fires there:
+        # function-local and instance state is per-execution anyway).
+        self._module_stmts = frozenset(id(stmt) for stmt in tree.body)
         self.violations = []
 
     def _flag(self, node, rule, message):
@@ -226,12 +248,54 @@ class _FileLinter(ast.NodeVisitor):
         if self.in_params_scope:
             for target in node.targets:
                 self._check_assign_target(target, node.value)
+        self._check_module_mutable(node, node.targets, node.value)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node):
         if self.in_params_scope and node.value is not None:
             self._check_assign_target(node.target, node.value)
+        if node.value is not None:
+            self._check_module_mutable(node, [node.target], node.value)
         self.generic_visit(node)
+
+    # -- SL006 ---------------------------------------------------------
+
+    @staticmethod
+    def _mutable_value_desc(value):
+        """How ``value`` builds module-level mutable state, or None.
+        Populated literal displays pass: they are lookup tables by
+        convention, and mutating one would trip SL006 reviewers anyway.
+        """
+        if isinstance(value, ast.Dict) and not value.keys:
+            return "{}"
+        if isinstance(value, ast.List) and not value.elts:
+            return "[]"
+        if isinstance(value, ast.Call):
+            func = value.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in _MUTABLE_CONSTRUCTORS:
+                return "%s(...)" % name
+        return None
+
+    def _check_module_mutable(self, node, targets, value):
+        if (not self.in_fanout_scope
+                or id(node) not in self._module_stmts):
+            return
+        desc = self._mutable_value_desc(value)
+        if desc is None:
+            return
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names:
+            return
+        self._flag(node, "SL006",
+                   "module-level mutable state %s = %s diverges across "
+                   "run-engine worker processes (keep per-run state on "
+                   "an object, or make this immutable)"
+                   % (", ".join(names), desc))
 
     def _check_defaults(self, node):
         args = node.args

@@ -1,0 +1,13 @@
+"""Keep the suite hermetic with respect to the run engine's
+environment knobs: no test should read or write the user-level run
+cache (``~/.cache/silo-repro``) or inherit a parallelism setting from
+the invoking shell.  Tests that exercise caching/parallelism construct
+their own ``RunEngine`` with an explicit tmp-path cache."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_engine_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "")  # empty = caching off
+    monkeypatch.delenv("REPRO_JOBS", raising=False)

@@ -1,0 +1,255 @@
+"""Run-engine guarantees: serial, parallel and cache-replayed grids
+produce bit-identical results; RunSummary round-trips losslessly; the
+drive-loop fast path matches the pre-optimization reference loop
+exactly; observation sessions still see what they need.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.systems import system_config
+from repro.obs import session as obs_session
+from repro.sim.driver import _drive, _per_core_state
+from repro.sim.engine import (RunCache, RunEngine, RunRequest, RunSummary,
+                              code_fingerprint, resolve_cache_dir,
+                              run_grid, use_engine)
+from repro.sim.sampling import SamplingPlan
+from repro.sim.system import System
+from repro.workloads.generator import generate_traces
+from repro.workloads.scaleout import SCALEOUT_WORKLOADS
+from repro.experiments.performance import fig10_scaleout
+
+PLAN = SamplingPlan(1500, 800)
+SCALE = 512
+WORKLOADS = ("web_search", "data_serving")
+SYSTEMS = ("baseline", "silo")
+
+
+def _fig10(engine):
+    with use_engine(engine):
+        return fig10_scaleout(plan=PLAN, scale=SCALE, seed=7,
+                              systems=SYSTEMS, workloads=WORKLOADS)
+
+
+def _point(seed=7, workload="web_search", track_sharing=False):
+    return RunRequest.point(
+        system_config("baseline", num_cores=4, scale=SCALE),
+        SCALEOUT_WORKLOADS[workload], PLAN, seed,
+        track_sharing=track_sharing)
+
+
+# ---------------------------------------------------------------------------
+# Determinism: serial == parallel == cache-replayed (exact equality)
+# ---------------------------------------------------------------------------
+
+
+def test_fig10_serial_parallel_cached_bit_identical(tmp_path):
+    serial = _fig10(RunEngine(jobs=1))
+
+    parallel_engine = RunEngine(jobs=4)
+    parallel = _fig10(parallel_engine)
+    assert parallel == serial          # exact float equality, no tolerance
+    assert parallel_engine.executed > 0
+
+    cold = RunEngine(jobs=1, cache=RunCache(str(tmp_path)))
+    assert _fig10(cold) == serial
+    assert cold.cache_misses == cold.executed > 0
+
+    warm = RunEngine(jobs=1, cache=RunCache(str(tmp_path)))
+    assert _fig10(warm) == serial      # replayed entirely from cache
+    assert warm.executed == 0
+    assert warm.cache_hits == warm.unique_points > 0
+
+
+def test_batch_dedup_simulates_duplicates_once():
+    engine = RunEngine(jobs=1)
+    a, b = engine.run([_point(), _point()])
+    assert engine.requests == 2
+    assert engine.unique_points == 1
+    assert engine.executed == 1
+    assert a is b
+
+
+def test_run_grid_uses_env_default_engine(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    (summary,) = run_grid([_point()])
+    assert summary.performance() > 0
+
+
+# ---------------------------------------------------------------------------
+# RunSummary fidelity and serialization
+# ---------------------------------------------------------------------------
+
+
+def test_summary_matches_live_result_exactly():
+    req = _point(track_sharing=True)
+    (summary,) = RunEngine(jobs=1).run([req])
+    from repro.sim.driver import simulate
+    live = simulate(req.config, req.placements[0][0], PLAN, seed=7,
+                    track_sharing=True)
+    assert summary.performance() == live.performance()
+    assert (summary.performance_with_llc_scale(1.5)
+            == live.performance_with_llc_scale(1.5))
+    assert (summary.performance_with_rw_multiplier(3.0)
+            == live.performance_with_rw_multiplier(3.0))
+    assert summary.per_core_ipc() == live.per_core_ipc()
+    assert summary.level_counts() == live.level_counts()
+    assert summary.llc_breakdown() == live.llc_breakdown()
+    assert summary.llc_mpki() == live.llc_mpki()
+    assert summary.instructions() == live.instructions()
+    assert summary.latency_percentiles() == live.latency_percentiles()
+    assert summary.sharing == live.system.sharing_breakdown()
+    assert summary.counters["llc_accesses"] == live.system.llc_accesses
+    assert (summary.counters["memory_accesses"]
+            == live.system.memory.accesses)
+
+
+def test_summary_pickle_round_trip():
+    (summary,) = RunEngine(jobs=1).run([_point()])
+    clone = pickle.loads(pickle.dumps(summary))
+    assert clone.to_dict() == summary.to_dict()
+    assert clone.performance() == summary.performance()
+
+
+def test_summary_json_round_trip():
+    (summary,) = RunEngine(jobs=1).run([_point(track_sharing=True)])
+    clone = RunSummary.from_dict(json.loads(json.dumps(summary.to_dict())))
+    assert clone.performance() == summary.performance()
+    assert clone.latency_percentiles() == summary.latency_percentiles()
+    assert clone.sharing == summary.sharing
+    assert clone.manifest()["performance"] == \
+        summary.manifest()["performance"]
+
+
+# ---------------------------------------------------------------------------
+# Request keying and cache invalidation
+# ---------------------------------------------------------------------------
+
+
+def test_request_key_is_stable_and_content_addressed():
+    assert _point().key("fp") == _point().key("fp")
+    assert _point().key("fp") != _point(seed=8).key("fp")
+    assert _point().key("fp") != _point(workload="data_serving").key("fp")
+    assert _point().key("fp") != _point(track_sharing=True).key("fp")
+    # a code change (new fingerprint) invalidates every key
+    assert _point().key("fp") != _point().key("fp2")
+    assert len(code_fingerprint()) == 64
+
+
+def test_cache_tolerates_corruption(tmp_path):
+    cache = RunCache(str(tmp_path))
+    key = _point().key("fp")
+    assert cache.get(key) is None
+    path = cache.put(key, RunEngine(jobs=1).run([_point()])[0])
+    with open(path, "wb") as f:
+        f.write(b"not a pickle")
+    assert cache.get(key) is None   # corrupt entry reads as a miss
+
+
+def test_resolve_cache_dir_env_policy(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/silo-cache-test")
+    assert resolve_cache_dir(default=None) == "/tmp/silo-cache-test"
+    monkeypatch.setenv("REPRO_CACHE_DIR", "")   # empty disables
+    assert resolve_cache_dir(default="~/.cache/silo-repro") is None
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert resolve_cache_dir(default=None) is None
+
+
+# ---------------------------------------------------------------------------
+# Observation sessions: live collection bypasses cache and pool
+# ---------------------------------------------------------------------------
+
+
+def test_stats_session_forces_live_execution(tmp_path):
+    cache = RunCache(str(tmp_path))
+    RunEngine(jobs=1, cache=cache).run([_point()])   # warm the cache
+    engine = RunEngine(jobs=4, cache=cache)
+    with obs_session.observe(collect_stats=True) as session:
+        engine.run([_point()])
+    assert session.last_system is not None   # a live System was built
+    assert engine.cache_hits == 0
+    assert engine.executed == 1
+
+
+def test_manifest_session_records_cached_runs(tmp_path):
+    cache = RunCache(str(tmp_path))
+    RunEngine(jobs=1, cache=cache).run([_point()])
+    with obs_session.observe(collect_manifests=True) as session:
+        RunEngine(jobs=1, cache=cache).run([_point()])
+    (record,) = session.runs
+    assert record["seed"] == 7
+    assert record["engine"]["request_key"]
+    assert record["throughput"]["events_per_sec"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Drive-loop fast path: bit-identical to the reference loop
+# ---------------------------------------------------------------------------
+
+
+def _reference_state(system, traces):
+    """The pre-optimization per-core state (flags decoded per event)."""
+    out = []
+    for tr in traces:
+        p = system.cores[tr.core_id].params
+        out.append((
+            tr.core_id, tr.blocks, tr.flags,
+            tr.instr_per_event * p.base_cpi,
+            1.0 / p.mlp, p.ifetch_stall_factor,
+        ))
+    return out
+
+
+def _reference_drive(system, per_core, starts, ends, times, chunk):
+    """Verbatim copy of the pre-optimization ``_drive`` inner loop."""
+    access = system.access
+    positions = list(starts)
+    remaining = sum(e - s for s, e in zip(starts, ends))
+    while remaining > 0:
+        for idx, (core, blocks, flags, cpi_ev, inv_mlp, iff) in \
+                enumerate(per_core):
+            pos = positions[idx]
+            hi = min(pos + chunk, ends[idx])
+            if pos >= hi:
+                continue
+            t = times[core]
+            for i in range(pos, hi):
+                fl = flags[i]
+                lat = access(core, blocks[i], fl & 1, fl & 2, t)
+                t += cpi_ev
+                if lat:
+                    t += lat * iff if fl & 2 else lat * inv_mlp
+            times[core] = t
+            remaining -= hi - pos
+            positions[idx] = hi
+
+
+@pytest.mark.parametrize("sys_name", ["baseline", "silo"])
+def test_fast_drive_matches_reference_loop(sys_name):
+    config = system_config(sys_name, num_cores=4, scale=SCALE)
+    spec = SCALEOUT_WORKLOADS["web_search"]
+    traces, layout = generate_traces(
+        spec, num_cores=4, events_per_core=PLAN.total_events,
+        scale=SCALE, seed=7)
+    ends = [len(tr) for tr in traces]
+
+    fast = System(config, [spec.core] * 4)
+    fast.rw_shared_range = layout.rw_shared_range
+    fast_times = [0.0] * 4
+    _drive(fast, _per_core_state(fast, traces), [0] * 4, ends,
+           fast_times, 200)
+
+    ref = System(config, [spec.core] * 4)
+    ref.rw_shared_range = layout.rw_shared_range
+    ref_times = [0.0] * 4
+    _reference_drive(ref, _reference_state(ref, traces), [0] * 4, ends,
+                     ref_times, 200)
+
+    assert fast_times == ref_times           # exact float equality
+    assert fast.stats.snapshot() == ref.stats.snapshot()
+    for fc, rc in zip(fast.cores, ref.cores):
+        assert fc.data_latency == rc.data_latency
+        assert fc.ifetch_latency == rc.ifetch_latency
+        assert fc.rw_shared_latency == rc.rw_shared_latency

@@ -99,3 +99,22 @@ def test_formerly_forgotten_counters_now_reset():
     assert all(pf.issued == 0 for pf in p.prefetchers)
     # architectural predictor state survives (only stats reset)
     assert any(pf._table for pf in p.prefetchers)
+
+
+def test_prefetch_fills_honor_measuring():
+    """Regression: stride-prefetch fills issued during warmup
+    (``measuring=False``) must not count -- like every other stat,
+    ``prefetch_fills`` covers only the measurement window."""
+    s = build("private_vault", **SILO_OPTS)
+    s.measuring = False
+    for i in range(100):
+        s.access(0, i, False, False)   # steady stride: fills issue
+    assert any(pf.issued > 0 for pf in s.prefetchers), \
+        "warmup should have triggered prefetches"
+    assert s.prefetch_fills == 0
+
+    s.reset_stats()
+    s.measuring = True
+    for i in range(100, 200):
+        s.access(0, i, False, False)
+    assert s.prefetch_fills > 0

@@ -265,6 +265,60 @@ def test_sl005_suppression(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# SL006: module-level mutable state in process-fan-out scope
+# ---------------------------------------------------------------------------
+
+
+def test_sl006_flags_empty_dict_in_sim_dir(tmp_path):
+    report = _lint_source(tmp_path, "_SEEN = {}\n", subdir="sim")
+    assert _codes(report) == ["SL006"]
+    assert "_SEEN" in report.violations[0].message
+
+
+def test_sl006_flags_empty_list_in_caches_dir(tmp_path):
+    report = _lint_source(tmp_path, "pending = []\n", subdir="caches")
+    assert _codes(report) == ["SL006"]
+
+
+def test_sl006_flags_mutable_constructor_call(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "from collections import defaultdict\n"
+        "counts = defaultdict(int)\n",
+        subdir="sim")
+    assert _codes(report) == ["SL006"]
+
+
+def test_sl006_quiet_on_populated_literal_table(tmp_path):
+    report = _lint_source(
+        tmp_path, "PRESETS = {'quick': (1, 2), 'full': (3, 4)}\n",
+        subdir="sim")
+    assert report.ok
+
+
+def test_sl006_quiet_on_function_local_state(tmp_path):
+    report = _lint_source(
+        tmp_path,
+        "def run():\n"
+        "    seen = {}\n"
+        "    return seen\n",
+        subdir="sim")
+    assert report.ok
+
+
+def test_sl006_quiet_outside_fanout_dirs(tmp_path):
+    report = _lint_source(tmp_path, "_CACHE = {}\n", subdir="workloads")
+    assert report.ok
+
+
+def test_sl006_suppression(tmp_path):
+    report = _lint_source(
+        tmp_path, "_SEEN = {}  # silolint: disable=SL006\n",
+        subdir="caches")
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
 # Report plumbing: JSON schema, sorting, errors, CLI
 # ---------------------------------------------------------------------------
 
@@ -335,7 +389,8 @@ def test_cli_list_rules(capsys):
 
 
 def test_rule_catalogue_is_complete():
-    assert sorted(RULES) == ["SL001", "SL002", "SL003", "SL004", "SL005"]
+    assert sorted(RULES) == ["SL001", "SL002", "SL003", "SL004", "SL005",
+                             "SL006"]
 
 
 # ---------------------------------------------------------------------------
