@@ -77,6 +77,22 @@ class VaultCache:
             if tag != -1:
                 yield tag, self.states[s]
 
+    def metadata_word(self, set_index):
+        """The set's tag+state metadata packed into one 64-bit word.
+
+        This is the word the SECDED model protects for tag-array
+        faults (repro.faults.ecc); the directory view exposes the same
+        packing per logical way via ``entry_word``.
+        """
+        from repro.faults import ecc
+        return ecc.pack_entry(self.tags[set_index],
+                              self.states[set_index])
+
+    def encoded_metadata(self, set_index):
+        """The SECDED codeword stored alongside the set's metadata."""
+        from repro.faults import ecc
+        return ecc.encode(self.metadata_word(set_index))
+
     def occupancy(self):
         return sum(1 for t in self.tags if t != -1)
 

@@ -28,6 +28,9 @@ class DupTagDirectory:
         self.vaults = vaults
         self.num_cores = len(vaults)
         self.num_sets = sets
+        # Physical ways currently known corrupt, keyed (set, way) -> True.
+        # A dict rather than a set keeps iteration order deterministic.
+        self._corrupt = {}
 
     def home_node(self, block):
         """Node whose vault physically stores this block's directory set."""
@@ -65,6 +68,50 @@ class DupTagDirectory:
             return (block, v.states[s])
         return None
 
+    def entry_word(self, set_index, way):
+        """Way ``way`` of directory set ``set_index`` packed into the
+        64-bit word the SECDED model protects -- tag and state exactly
+        as the mirrored vault stores them."""
+        from repro.faults import ecc
+        vault = self.vaults[way]
+        return ecc.pack_entry(vault.tags[set_index],
+                              vault.states[set_index])
+
+    def encoded_entry(self, set_index, way):
+        """The SECDED codeword stored with one directory entry."""
+        from repro.faults import ecc
+        return ecc.encode(self.entry_word(set_index, way))
+
+    def mark_corrupt(self, set_index, way):
+        """Record that the physical bits of one directory way were
+        corrupted.  ``check_consistent`` fails while any mark is
+        outstanding; recovery clears it via :meth:`clear_corrupt`
+        (ECC corrected the flip in place) or :meth:`rebuild_set`."""
+        self._corrupt[(set_index, way)] = True
+
+    def clear_corrupt(self, set_index, way):
+        self._corrupt.pop((set_index, way), None)
+
+    def corrupt_entries(self):
+        """Outstanding corrupt (set, way) marks, in insertion order."""
+        return list(self._corrupt)
+
+    def rebuild_set(self, set_index):
+        """Rebuild one directory set from the vault tag arrays.
+
+        Because the directory *is* a view over the vaults (the
+        model-checked mirror invariant), recovery from an
+        uncorrectable directory-entry error is well-defined: re-read
+        way ``c`` of the set from core ``c``'s vault and rewrite it.
+        In this model that amounts to clearing the corruption marks
+        for the set; returns the number of ways rewritten.
+        """
+        if not 0 <= set_index < self.num_sets:
+            raise ValueError("set index out of range: %r" % (set_index,))
+        for way in range(self.num_cores):
+            self._corrupt.pop((set_index, way), None)
+        return self.num_cores
+
     def check_consistent(self):
         """Debug assertion: the directory view matches its vaults.
 
@@ -80,6 +127,13 @@ class DupTagDirectory:
             raise AssertionError("directory built over %d vaults, now "
                                  "sees %d" % (self.num_cores,
                                               len(self.vaults)))
+        if self._corrupt:
+            raise AssertionError(
+                "directory has %d unrecovered corrupt entr%s "
+                "(first: set %d way %d)"
+                % (len(self._corrupt),
+                   "y" if len(self._corrupt) == 1 else "ies",
+                   *next(iter(self._corrupt))))
         for c, v in enumerate(self.vaults):
             if v.num_sets != self.num_sets:
                 raise AssertionError(

@@ -58,6 +58,25 @@ class SiloDesign:
             llc_latency=self.vault_total_latency_cycles,
             **overrides)
 
+    def degraded_capacity(self, offline_vaults, num_cores=P.NUM_CORES):
+        """Aggregate die-stacked capacity left when some vaults are
+        offline (repro.faults vault events).  SILO loses capacity in
+        private vault-sized quanta -- the faulted cores fall back to
+        main memory while every other core keeps its full vault.
+        """
+        offline = set(offline_vaults)
+        for v in offline:
+            if not 0 <= v < num_cores:
+                raise ValueError("vault %d out of range [0, %d)"
+                                 % (v, num_cores))
+        online = num_cores - len(offline)
+        return {
+            "online_vaults": online,
+            "offline_vaults": len(offline),
+            "total_capacity_bytes": self.vault_capacity_bytes * online,
+            "capacity_fraction": online / num_cores,
+        }
+
     def matches_table_ii(self, capacity_optimized=False, tolerance=3):
         """True if the derived total latency is within ``tolerance``
         cycles of the paper's Table II value."""

@@ -25,6 +25,7 @@ from repro.experiments.validation import (validate_hit_rates,
 from repro.experiments.noc_traffic import (noc_traffic,
                                            offchip_traffic,
                                            dnuca_comparison)
+from repro.experiments.resilience import resilience
 
 EXPERIMENTS = {
     "fig1": fig1_capacity,
@@ -49,6 +50,7 @@ EXPERIMENTS = {
     "offchip_traffic": offchip_traffic,
     "dnuca": dnuca_comparison,
     "characterize": characterize_workloads,
+    "resilience": resilience,
 }
 
 __all__ = ["EXPERIMENTS", "resolve_plan", "geomean", "render_table"]

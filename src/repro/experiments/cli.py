@@ -10,6 +10,7 @@ Usage::
 """
 
 import argparse
+import contextlib
 import sys
 import time
 
@@ -66,6 +67,23 @@ def main(argv=None):
                         help="write a JSON run-provenance manifest "
                              "(config, seed, git sha, wall clock, "
                              "events/sec, latency percentiles) to DIR")
+    parser.add_argument("--faults", type=float, default=None,
+                        metavar="RATE",
+                        help="inject bit-flip faults (data/tag/"
+                             "directory) at RATE per eligible access; "
+                             "for 'resilience' this replaces the "
+                             "default rate sweep")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the fault draw stream "
+                             "(default 0; independent of --seed)")
+    parser.add_argument("--fault-target", type=int, default=None,
+                        metavar="V",
+                        help="restrict injected faults to vault/bank V "
+                             "(default: all)")
+    parser.add_argument("--fault-stalls", type=float, default=None,
+                        metavar="RATE",
+                        help="inject transient memory-channel stalls "
+                             "at RATE per channel access")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="simulate up to N grid points in parallel "
                              "worker processes (default: $REPRO_JOBS "
@@ -82,6 +100,10 @@ def main(argv=None):
         parser.error("--trace must be positive")
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    for flag, value in (("--faults", args.faults),
+                        ("--fault-stalls", args.fault_stalls)):
+        if value is not None and not 0.0 <= value <= 1.0:
+            parser.error("%s must be a rate in [0, 1]" % flag)
 
     func = EXPERIMENTS[args.experiment]
     kwargs = {}
@@ -92,6 +114,34 @@ def main(argv=None):
         kwargs = {"scale": args.scale, "seed": args.seed}
         if args.sampling is not None:
             kwargs["plan"] = args.sampling
+
+    # Fault flags: 'resilience' takes them as explicit sweep kwargs;
+    # every other simulating experiment gets an ambient FaultPlan that
+    # RunRequest.point picks up (see repro.faults.use_plan).
+    fault_plan = None
+    any_fault_flag = (args.faults is not None
+                      or args.fault_stalls is not None)
+    if args.experiment == "resilience":
+        kwargs["fault_seed"] = args.fault_seed
+        if args.fault_target is not None:
+            kwargs["target"] = args.fault_target
+        if args.faults is not None:
+            kwargs["rates"] = (0.0, args.faults)
+        if args.fault_stalls is not None:
+            parser.error("--fault-stalls does not apply to "
+                         "'resilience' (it sweeps bit-flip rates)")
+    elif any_fault_flag:
+        if args.experiment in no_sim or args.experiment == "characterize":
+            parser.error("--faults/--fault-stalls: experiment '%s' "
+                         "runs no simulation" % args.experiment)
+        from repro.faults import FaultPlan
+        rate = args.faults if args.faults is not None else 0.0
+        fault_plan = FaultPlan(
+            seed=args.fault_seed, data_flip_rate=rate,
+            tag_flip_rate=rate, directory_flip_rate=rate,
+            stall_rate=(args.fault_stalls
+                        if args.fault_stalls is not None else 0.0),
+            target=args.fault_target)
 
     if args.no_cache:
         cache_dir = None
@@ -104,11 +154,17 @@ def main(argv=None):
         jobs=args.jobs,
         cache=sim_engine.RunCache(cache_dir) if cache_dir else None)
 
+    if fault_plan is not None:
+        from repro.faults import use_plan
+        plan_ctx = use_plan(fault_plan)
+    else:
+        plan_ctx = contextlib.nullcontext()
+
     start = time.time()
     with obs_session.observe(trace_capacity=args.trace,
                              collect_manifests=args.manifest is not None,
                              collect_stats=args.stats) as session:
-        with sim_engine.use_engine(engine):
+        with sim_engine.use_engine(engine), plan_ctx:
             rows = func(**kwargs)
     elapsed = time.time() - start
 
@@ -157,8 +213,12 @@ def main(argv=None):
         }
         path = obs_manifest.write_manifest(
             data, args.manifest, "%s-manifest" % args.experiment)
-        print()
-        print("manifest: %s (%d runs)" % (path, len(session.runs)))
+        # keep stdout machine-parseable under --json (the notice would
+        # otherwise trail the JSON document in a shell redirect)
+        notice = sys.stderr if args.json else sys.stdout
+        print(file=notice)
+        print("manifest: %s (%d runs)" % (path, len(session.runs)),
+              file=notice)
     return 0
 
 

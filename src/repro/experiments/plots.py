@@ -127,6 +127,17 @@ def chart_for(experiment, rows):
         return bar_chart(rows, ("workload", "variant"),
                          "normalized_performance",
                          title="normalized performance", baseline=1.0)
+    if experiment == "resilience":
+        series = {}
+        for r in rows:
+            if r["scenario"] != "bit_flips":
+                continue
+            series.setdefault(r["system"], []).append(
+                (r["flips_per_M"], r["normalized_performance"]))
+        return line_chart(series, title="Resilience: perf vs fault rate "
+                          "(flips per M accesses, normalized to "
+                          "fault-free)", x_label="flips/M",
+                          y_label="norm. perf")
     if experiment == "fig4":
         series = {}
         for r in rows:

@@ -1,0 +1,116 @@
+"""Resilience: IPC degradation and data loss under injected faults.
+
+Sweeps a per-access fault rate applied to vault/LLC bit cells and
+directory entries of one target vault (vault 0), for both SILO and the
+shared-NUCA baseline, and adds a whole-vault-offline scenario.  Two
+structural claims fall out of the organizations:
+
+* Under SILO the target vault is private to core 0, so bit-flip
+  faults degrade only the faulted core's IPC; the other cores keep
+  running out of their own healthy vaults.
+* Under a shared LLC the "target" is NUCA bank 0, which interleaves
+  blocks of *every* core -- the same fault rate degrades all cores,
+  and taking the bank offline steals 1/N of the shared capacity from
+  everyone.
+
+Each rate's plan shares one fault seed, so (by the injector's
+counter-based draw scheme) the fault set at a lower rate is the prefix
+behaviour of the higher rate and the rendered degradation curve is
+non-increasing in the rate.
+"""
+
+from repro.core.systems import system_config
+from repro.faults import FaultPlan
+from repro.sim.engine import RunRequest, run_grid
+from repro.workloads.scaleout import DATA_SERVING
+from repro.experiments.common import resolve_plan, DEFAULT_SCALE, DEFAULT_SEED
+
+#: Per-access bit-flip rates swept (0 -> 1e-3, the paper-scale upper
+#: bound for a badly degraded stack).
+DEFAULT_RATES = (0.0, 1e-5, 1e-4, 1e-3)
+
+#: Fraction of injected flips that hit two bits (uncorrectable under
+#: SECDED); the rest are single-bit and corrected in flight.
+DEFAULT_DOUBLE_BIT_FRACTION = 0.25
+
+SCENARIO_FLIPS = "bit_flips"
+SCENARIO_OFFLINE = "vault_offline"
+
+
+def _flip_plan(rate, fault_seed, target, double_bit_fraction):
+    """The swept plan: bit flips in data, tag and directory arrays of
+    the target vault/bank.  Rate 0 builds an inactive plan (attaches
+    no injector; bit-identical to fault-free)."""
+    return FaultPlan(seed=fault_seed,
+                     data_flip_rate=rate,
+                     tag_flip_rate=rate,
+                     directory_flip_rate=rate,
+                     double_bit_fraction=double_bit_fraction,
+                     target=target)
+
+
+def _offline_plan(fault_seed, target):
+    """The degradation scenario: the target vault/bank goes offline on
+    the first access and stays offline for the whole run."""
+    return FaultPlan(seed=fault_seed,
+                     vault_events=((1, target, "offline"),))
+
+
+def _row(system, scenario, rate, summary, base, target):
+    ipcs = summary.per_core_ipc()
+    base_ipcs = base.per_core_ipc()
+    others = [i for i in range(len(ipcs)) if i != target]
+    counters = summary.counters.get("faults", {})
+    return {
+        "system": system,
+        "scenario": scenario,
+        # per-million so the %.3f table renderer keeps 1e-5 visible
+        "flips_per_M": rate * 1e6,
+        "normalized_performance":
+            summary.performance() / base.performance(),
+        "faulted_core": ipcs[target] / base_ipcs[target],
+        "other_cores": (sum(ipcs[i] for i in others)
+                        / sum(base_ipcs[i] for i in others)),
+        "injected": counters.get("injected", 0),
+        "uncorrectable": counters.get("uncorrectable", 0),
+        "data_loss": counters.get("data_loss_events", 0),
+        "remapped": counters.get("remapped_accesses", 0),
+    }
+
+
+def resilience(plan=None, scale=DEFAULT_SCALE, seed=DEFAULT_SEED,
+               rates=DEFAULT_RATES, fault_seed=0, target=0,
+               double_bit_fraction=DEFAULT_DOUBLE_BIT_FRACTION):
+    """Fault-rate sweep plus vault-offline scenario, SILO vs shared
+    NUCA, normalized per system to its own fault-free run."""
+    plan = resolve_plan(plan)
+    rates = tuple(sorted(set(float(r) for r in rates)))
+    if not rates or rates[0] != 0.0:
+        rates = (0.0,) + tuple(r for r in rates if r != 0.0)
+    systems = ("baseline", "silo")
+    grid = []
+    for name in systems:
+        # Infinite-bandwidth memory (the paper's assumption where
+        # noted): bank-conflict timing jitter would otherwise couple
+        # into the fault sweep and blur the monotone degradation.
+        config = system_config(name, scale=scale, memory_queueing=False)
+        for rate in rates:
+            grid.append(RunRequest.point(
+                config, DATA_SERVING, plan, seed,
+                faults=_flip_plan(rate, fault_seed, target,
+                                  double_bit_fraction)))
+        grid.append(RunRequest.point(
+            config, DATA_SERVING, plan, seed,
+            faults=_offline_plan(fault_seed, target)))
+    results = iter(run_grid(grid))
+    rows = []
+    for name in systems:
+        sweep = [next(results) for _ in rates]
+        offline = next(results)
+        base = sweep[0]
+        for rate, summary in zip(rates, sweep):
+            rows.append(_row(name, SCENARIO_FLIPS, rate, summary, base,
+                             target))
+        rows.append(_row(name, SCENARIO_OFFLINE, 0.0, offline, base,
+                         target))
+    return rows

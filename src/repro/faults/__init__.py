@@ -1,0 +1,51 @@
+"""Deterministic fault injection and recovery for the SILO simulator.
+
+Die-stacked DRAM is a fault-prone substrate (retention errors, TSV and
+layer failures, thermal throttling); the paper assumes a healthy stack.
+This package models what happens when it is not:
+
+``repro.faults.ecc``
+    A SECDED (72,64) extended-Hamming code protecting 64-bit words --
+    vault line slices, packed vault tag+state metadata, and duplicate
+    tag directory entries.  Single-bit flips are always corrected;
+    double-bit flips are always detected (never miscorrected).
+
+``repro.faults.plan``
+    ``FaultPlan``: a frozen, hashable description of *what* to inject
+    (bit-flip rates for vault data/tag arrays and directory entries, a
+    double-bit fraction, transient memory-channel stall rates, and
+    scheduled whole-vault offline/online events).  Plans ride along on
+    ``RunRequest`` so the run cache keys them.
+
+``repro.faults.injector``
+    ``FaultInjector``: the runtime that draws fault events from a
+    counter-based hash stream (seeded by the plan, independent of the
+    workload RNG), exercises the ECC model, and tracks every recovery
+    counter.  Fault-off runs never construct one, so they stay
+    bit-identical to a build without this package.
+
+Recovery semantics live in ``repro.sim.system`` (invalidate + refetch,
+data-loss declaration, directory rebuild from vault tags, vault-offline
+remap to memory) and ``repro.memory.controller`` (retry/backoff for
+transient channel stalls); see DESIGN.md's "Resilience" section.
+"""
+
+from repro.faults.ecc import (CORRECTED, DETECTED, OK, decode, encode,
+                              line_word, pack_entry, unpack_entry)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, current_plan, use_plan
+
+__all__ = [
+    "CORRECTED",
+    "DETECTED",
+    "OK",
+    "FaultInjector",
+    "FaultPlan",
+    "current_plan",
+    "decode",
+    "encode",
+    "line_word",
+    "pack_entry",
+    "unpack_entry",
+    "use_plan",
+]

@@ -34,6 +34,10 @@ class ClosedPageController:
         self.conflicts = 0
         self._window_start = 0.0
         self._latest_now = 0.0
+        # Optional fault injector (repro.faults): adds transient-stall
+        # retry/backoff cycles to accesses.  None keeps the controller
+        # bit-identical to a fault-free build.
+        self.faults = None
 
     def utilization(self):
         """Measured bank utilization in the current window."""
@@ -46,17 +50,25 @@ class ClosedPageController:
 
     def access(self, block, now):
         """Issue an access at approximate time ``now``; returns the
-        estimated queueing delay in cycles."""
+        estimated queueing delay in cycles (plus any transient-stall
+        retry/backoff penalty when a fault injector is attached)."""
         self.accesses += 1
         if now > self._latest_now:
             self._latest_now = now
+        stall = 0.0
+        if self.faults is not None:
+            stall = self.faults.channel_stall(self.bank_busy_cycles)
         rho = self.utilization()
         if rho <= 0:
-            return 0.0
+            return stall
         wait = self.bank_busy_cycles * rho / (2.0 * (1.0 - rho))
         if wait >= 1.0:
             self.conflicts += 1
-        return wait
+        return wait + stall
+
+    def attach_faults(self, injector):
+        """Route transient-stall draws through ``injector``."""
+        self.faults = injector
 
     def bank_of(self, block):
         return block % self.num_banks

@@ -58,6 +58,13 @@ class MainMemory:
     def accesses(self):
         return self.reads + self.writes
 
+    def attach_faults(self, injector):
+        """Route transient-stall fault draws to every channel
+        controller (no-op for timing until the injector's stall rate
+        is non-zero)."""
+        for ctrl in self.controllers:
+            ctrl.attach_faults(injector)
+
     def reset_stats(self):
         self.reads = 0
         self.writes = 0

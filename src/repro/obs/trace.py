@@ -13,6 +13,7 @@ Event kinds
 ``invalidate``      a peer copy was invalidated
 ``downgrade``       a MOESI/MESI supplier downgrade (M->O / M->S)
 ``vault_eviction``  a direct-mapped vault evicted its set resident
+``fault``           an injected fault fired or a recovery path ran
 """
 
 import json
@@ -24,9 +25,10 @@ EV_DIRECTORY = "directory"
 EV_INVALIDATE = "invalidate"
 EV_DOWNGRADE = "downgrade"
 EV_EVICTION = "vault_eviction"
+EV_FAULT = "fault"
 
 EVENT_KINDS = (EV_COHERENCE, EV_DIRECTORY, EV_INVALIDATE, EV_DOWNGRADE,
-               EV_EVICTION)
+               EV_EVICTION, EV_FAULT)
 
 
 class TraceEvent(NamedTuple):

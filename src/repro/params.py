@@ -88,6 +88,23 @@ THREE_LEVEL_EDRAM_LLC_BYTES = 128 * MB
 THREE_LEVEL_LLC_BANK_LATENCY = 7
 
 # ---------------------------------------------------------------------------
+# Resilience: SECDED ECC geometry and fault-recovery parameters
+# ---------------------------------------------------------------------------
+
+# Die-stacked DRAM vault lines, vault tag metadata and duplicate-tag
+# directory entries are protected at 64-bit word granularity by a
+# SECDED (72,64) extended Hamming code (repro.faults.ecc): 7 syndrome
+# parity bits plus one overall parity bit per word.
+ECC_DATA_BITS = 64
+ECC_CHECK_BITS = 8
+ECC_CODEWORD_BITS = ECC_DATA_BITS + ECC_CHECK_BITS  # 72
+
+# Transient memory-channel stalls (refresh-storm style) are retried
+# with exponential backoff; a stall event costs the controller between
+# 1 and FAULT_STALL_RETRIES_MAX retries of the bank busy time.
+FAULT_STALL_RETRIES_MAX = 4
+
+# ---------------------------------------------------------------------------
 # Table III: energy / power parameters for the memory subsystem
 # ---------------------------------------------------------------------------
 

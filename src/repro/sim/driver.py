@@ -207,6 +207,8 @@ class RunResult:
             data["protocol_provenance"] = _manifest.protocol_provenance()
         if sys_.tracer is not None:
             data["trace"] = sys_.tracer.summary()
+        if sys_.faults is not None:
+            data["faults"] = sys_.faults.describe()
         if include_stats:
             data["stats"] = self.stats_snapshot()
         return data
@@ -257,9 +259,11 @@ def run_system(system, traces, warmup_events, measure_events,
 
 
 def simulate(config, spec, plan, core_params=None, seed=0,
-             track_sharing=False, chunk=DEFAULT_CHUNK):
+             track_sharing=False, chunk=DEFAULT_CHUNK, faults=None):
     """Convenience wrapper: build the system, generate traces for a
-    homogeneous workload, run, and return the RunResult."""
+    homogeneous workload, run, and return the RunResult.  ``faults``
+    is an optional :class:`repro.faults.FaultPlan`; inactive plans
+    attach nothing (bit-identical to fault-free)."""
     from repro.workloads.generator import generate_traces
 
     n = config.num_cores
@@ -267,6 +271,9 @@ def simulate(config, spec, plan, core_params=None, seed=0,
         core_params = [spec.core] * n
     system = System(config, core_params)
     system.track_sharing = track_sharing
+    if faults is not None and faults.active():
+        from repro.faults.injector import FaultInjector
+        system.attach_faults(FaultInjector(faults, n))
     traces, layout = generate_traces(
         spec, num_cores=n, events_per_core=plan.total_events,
         scale=config.scale, seed=seed)

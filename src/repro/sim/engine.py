@@ -51,6 +51,7 @@ from typing import List, Optional, Tuple
 from repro.cores.perf_model import (
     CoreParams, NUM_LEVELS, LEVEL_NAMES, LEVEL_LLC_LOCAL,
     LEVEL_LLC_REMOTE, LEVEL_DRAM_CACHE, LEVEL_MEMORY)
+from repro.faults.plan import FaultPlan, current_plan
 from repro.obs import manifest as _manifest
 from repro.obs import session as _obs_session
 from repro.obs.stats import Distribution, Group
@@ -61,7 +62,9 @@ from repro.workloads.base import WorkloadSpec
 
 #: Bump when RunSummary's shape or the request canonicalization
 #: changes: stale cache entries must not satisfy new-schema lookups.
-ENGINE_SCHEMA = "silo-repro-runsummary/1"
+#: /2: requests carry an optional FaultPlan (keys and summaries of
+#: faulted runs must never alias fault-free ones).
+ENGINE_SCHEMA = "silo-repro-runsummary/2"
 
 #: Default on-disk cache location (the CLI's default; library use only
 #: caches when $REPRO_CACHE_DIR is set -- see resolve_cache_dir).
@@ -91,29 +94,39 @@ class RunRequest:
     colocated: bool = False
     track_sharing: bool = False
     chunk: int = DEFAULT_CHUNK
+    #: Optional fault plan (repro.faults); None means fault-free and
+    #: keys differently from any active plan.
+    faults: Optional[FaultPlan] = None
 
     @classmethod
     def point(cls, config, spec, plan, seed, core_ids=None,
-              track_sharing=False, chunk=DEFAULT_CHUNK):
+              track_sharing=False, chunk=DEFAULT_CHUNK, faults=None):
         """A homogeneous point: ``spec`` on all cores (or ``core_ids``),
-        exactly like :func:`repro.sim.driver.simulate`."""
+        exactly like :func:`repro.sim.driver.simulate`.  ``faults``
+        defaults to the ambient plan installed by
+        :func:`repro.faults.use_plan` (None when none is installed)."""
         if core_ids is None:
             core_ids = tuple(range(config.num_cores))
+        if faults is None:
+            faults = current_plan()
         return cls(config=config, placements=((spec, tuple(core_ids)),),
                    plan=plan, seed=seed, colocated=False,
-                   track_sharing=track_sharing, chunk=chunk)
+                   track_sharing=track_sharing, chunk=chunk,
+                   faults=faults)
 
     @classmethod
     def colocation(cls, config, assignments, plan, seed,
-                   chunk=DEFAULT_CHUNK):
+                   chunk=DEFAULT_CHUNK, faults=None):
         """A heterogeneous point: ``assignments`` is a list of
         ``(spec, core_ids)`` pairs with disjoint core sets, exactly like
         :func:`repro.workloads.colocation.generate_colocation_traces`."""
         placements = tuple((spec, tuple(ids))
                            for spec, ids in assignments)
+        if faults is None:
+            faults = current_plan()
         return cls(config=config, placements=placements, plan=plan,
                    seed=seed, colocated=True, track_sharing=False,
-                   chunk=chunk)
+                   chunk=chunk, faults=faults)
 
     def canonical(self):
         """JSON-native dict that fully determines the simulation."""
@@ -127,6 +140,8 @@ class RunRequest:
             "colocated": self.colocated,
             "track_sharing": self.track_sharing,
             "chunk": self.chunk,
+            "faults": (None if self.faults is None
+                       else self.faults.canonical()),
         }
 
     def key(self, fingerprint=""):
@@ -137,24 +152,37 @@ class RunRequest:
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-@functools.lru_cache(maxsize=1)
-def code_fingerprint():
-    """Digest of the simulator's own source: the git sha plus a sha256
-    over every ``repro`` package file's contents.  Hashing file contents
-    (not just the sha) keeps dirty working trees from replaying stale
-    cache entries."""
+def fingerprint_files():
+    """Package-relative paths of every source file the code
+    fingerprint covers: all ``.py`` files under the ``repro`` package,
+    in deterministic order.  The walk picks up new subpackages
+    automatically -- ``repro/faults`` must appear here so cached
+    fault-free summaries miss cleanly when the fault model changes."""
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    h = hashlib.sha256()
-    h.update((_manifest.git_sha() or "no-git").encode("utf-8"))
+    out = []
     for dirpath, dirnames, filenames in os.walk(root):
         dirnames.sort()
         for name in sorted(filenames):
-            if not name.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, name)
-            h.update(os.path.relpath(path, root).encode("utf-8"))
-            with open(path, "rb") as f:
-                h.update(hashlib.sha256(f.read()).digest())
+            if name.endswith(".py"):
+                path = os.path.join(dirpath, name)
+                out.append(os.path.relpath(path, root))
+    return out
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint():
+    """Digest of the simulator's own source: the git sha plus a sha256
+    over every ``repro`` package file's contents (the
+    :func:`fingerprint_files` set).  Hashing file contents (not just
+    the sha) keeps dirty working trees from replaying stale cache
+    entries."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    h = hashlib.sha256()
+    h.update((_manifest.git_sha() or "no-git").encode("utf-8"))
+    for rel in fingerprint_files():
+        h.update(rel.encode("utf-8"))
+        with open(os.path.join(root, rel), "rb") as f:
+            h.update(hashlib.sha256(f.read()).digest())
     return h.hexdigest()
 
 
@@ -361,6 +389,8 @@ class RunSummary:
         }
         if self.config.get("llc_kind") == LLC_PRIVATE_VAULT:
             data["protocol_provenance"] = _manifest.protocol_provenance()
+        if "faults" in self.counters:
+            data["faults"] = {"counters": dict(self.counters["faults"])}
         return data
 
     # -- serialization -------------------------------------------------
@@ -417,6 +447,10 @@ def summarize(result, request_key=""):
         "memory_reads": sys_.memory.reads,
         "memory_writes": sys_.memory.writes,
     }
+    if sys_.faults is not None:
+        # Present only for faulted runs: fault-free summaries keep
+        # their pre-faults shape byte-for-byte.
+        counters["faults"] = sys_.faults.counters_dict()
     sharing = sys_.sharing_breakdown() if sys_.track_sharing else None
     bd = EnergyModel().breakdown(sys_)
     energy = {
@@ -469,6 +503,12 @@ def execute_request(request):
     core_params = [p if p is not None else idle for p in core_params]
     system = System(config, core_params)
     system.track_sharing = request.track_sharing
+    if request.faults is not None and request.faults.active():
+        # Inactive plans (all-zero rates, no events) attach nothing,
+        # so they are bit-identical to fault-free requests.
+        from repro.faults.injector import FaultInjector
+        system.attach_faults(
+            FaultInjector(request.faults, config.num_cores))
     if request.colocated:
         traces, _layouts = generate_colocation_traces(
             [(spec, list(ids)) for spec, ids in request.placements],

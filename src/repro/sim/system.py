@@ -32,8 +32,8 @@ from repro.cores.perf_model import (
 from repro.memory.main_memory import MainMemory
 from repro.noc.mesh import Mesh2D
 from repro.obs.stats import Group
-from repro.obs.trace import (EV_COHERENCE, EV_DIRECTORY, EV_INVALIDATE,
-                             EV_DOWNGRADE, EV_EVICTION)
+from repro.obs.trace import (EV_COHERENCE, EV_DIRECTORY, EV_FAULT,
+                             EV_INVALIDATE, EV_DOWNGRADE, EV_EVICTION)
 from repro.sim.config import LLC_SHARED, LLC_PRIVATE_VAULT
 
 
@@ -137,6 +137,10 @@ class System:
         # Event tracing is off unless attach_tracer is called: every
         # instrumented site costs one `is not None` check when off.
         self.tracer = None
+        # Fault injection is off unless attach_faults is called; like
+        # the tracer, the disabled cost is one `is not None` check per
+        # instrumented site, so fault-off runs stay bit-identical.
+        self.faults = None
 
         # System-level counters
         self.llc_accesses = 0          # SRAM bank / DRAM vault accesses
@@ -171,6 +175,24 @@ class System:
         returns the tracer for chaining."""
         self.tracer = tracer
         return tracer
+
+    def attach_faults(self, injector):
+        """Enable fault injection through ``injector`` (repro.faults).
+
+        Wires the injector into the memory channels (transient stalls)
+        and registers its counters as the ``system.faults`` stats
+        group; returns the injector for chaining.
+        """
+        expected = self.num_cores
+        if injector.num_targets != expected:
+            raise ValueError(
+                "injector built for %d targets, system has %d vaults/"
+                "banks" % (injector.num_targets, expected))
+        self.faults = injector
+        self.memory.attach_faults(injector)
+        injector.register_stats(
+            self.stats.group("faults", "fault injection and recovery"))
+        return injector
 
     def _build_stats(self):
         """Assemble the stats registry over every subsystem."""
@@ -269,6 +291,8 @@ class System:
         """Process one reference; returns exposed latency in cycles
         beyond the L1 (an L1 hit returns 0)."""
         self.now = now
+        if self.faults is not None:
+            self.faults.tick(self)
         if is_ifetch:
             l1 = self.l1i[core]
             if l1.lookup(block) is not None:
@@ -352,7 +376,19 @@ class System:
             self.l1d[core].update(block, MODIFIED)
             self.sharer_table.add_sharer(block, core, exclusive=True)
         else:
-            if l1_state != EXCLUSIVE:
+            if self.faults is not None and self.faults.offline[core]:
+                # Degraded mode (vault offline): no M state without a
+                # vault to track it -- invalidate peers and write
+                # through to memory, keeping the L1 copy Shared.
+                self._invalidate_peer_vaults(core, block)
+                self.memory.access(block, self.now, is_write=True)
+                self.faults.write_throughs += 1
+                return
+            # While any vault is offline, its core may hold Shared
+            # copies the directory cannot see, so even a silent E->M
+            # upgrade must sweep peers.
+            if l1_state != EXCLUSIVE or (
+                    self.faults is not None and self.faults.has_offline):
                 self._invalidate_peer_vaults(core, block)
             self.l1d[core].update(block, MODIFIED)
             vault = self.vaults[core]
@@ -414,6 +450,10 @@ class System:
             if self.tracer is not None:
                 self.tracer.emit(EV_INVALIDATE, self.now, c, block,
                                  "peer_vault")
+        if self.faults is not None and self.faults.has_offline:
+            # Cores with an offline vault hold directory-invisible
+            # Shared copies; a write must invalidate those too.
+            self._invalidate_offline_l1s(core, block)
 
     # ------------------------------------------------------------------
     # shared-LLC (baseline / Vaults-Sh / 3-level SRAM & eDRAM) path
@@ -448,8 +488,16 @@ class System:
                     return lat, LEVEL_LLC_LOCAL
 
         bank = self.llc.bank_of(block)
-        lat = self.mesh.round_trip(core, bank) + self.llc.bank_latency
-        self.llc_accesses += 1
+        bank_offline = (self.faults is not None
+                        and self.faults.offline[bank])
+        lat = self.mesh.round_trip(core, bank)
+        if bank_offline:
+            # The bank's controller forwards the request off-chip
+            # without touching the (drained) data array.
+            self.faults.remapped_accesses += 1
+        else:
+            lat += self.llc.bank_latency
+            self.llc_accesses += 1
         if self.track_sharing and is_data:
             if is_write:
                 self.llc_demand_writes += 1
@@ -484,7 +532,11 @@ class System:
                     served = True
 
         if not served:
-            if self.llc.lookup(block) is not None:
+            st = None if bank_offline else self.llc.lookup(block)
+            if st is not None and self.faults is not None:
+                if self._shared_llc_fault(bank, block, st):
+                    st = None  # uncorrectable: line gone, miss instead
+            if st is not None:
                 served = True
             else:
                 lat2, level = self._off_chip_shared(core, block, is_write,
@@ -520,6 +572,14 @@ class System:
 
     def _insert_llc(self, core, block, dirty):
         """Allocate a block in the shared LLC; handles dirty victims."""
+        if (self.faults is not None
+                and self.faults.offline[self.llc.bank_of(block)]):
+            # Home bank offline: nothing to allocate into; dirty data
+            # goes straight to memory instead.
+            self.faults.remapped_accesses += 1
+            if dirty:
+                self.memory.access(block, self.now, is_write=True)
+            return
         self.llc_accesses += 1
         if self.track_sharing and dirty:
             self.block_writers[block] = (
@@ -584,7 +644,9 @@ class System:
                 else:
                     self._insert_llc(core, vb, dirty=True)
             elif (self.victim_replication
-                  and self.llc.bank_of(vb) != core):
+                  and self.llc.bank_of(vb) != core
+                  and not (self.faults is not None
+                           and self.faults.offline[core])):
                 # clean victim: keep a low-priority replica in the
                 # local bank (LRU position: replicas earn retention by
                 # being re-referenced, they never displace hot blocks
@@ -598,38 +660,62 @@ class System:
 
     def _miss_private(self, core, block, is_write, is_data, now):
         """L1 miss in SILO.  Returns (latency, level)."""
+        faults = self.faults
         if self.l2 is not None:
             l2 = self.l2[core]
             st = l2.lookup(block)
             if st is not None:
                 if is_write and st != MODIFIED:
-                    # treat as an upgrade through the normal machinery
-                    if st != EXCLUSIVE:
+                    if faults is not None and faults.offline[core]:
+                        # degraded mode: stores write through, the
+                        # on-chip copies stay Shared (no vault to
+                        # anchor an M line)
                         self._invalidate_peer_vaults(core, block)
-                    l2.update(block, MODIFIED)
-                    vault = self.vaults[core]
-                    if vault.contains(block):
-                        vault.update(block, MODIFIED)
-                    st = MODIFIED
+                        self.memory.access(block, self.now,
+                                           is_write=True)
+                        faults.write_throughs += 1
+                    else:
+                        # treat as an upgrade through the normal
+                        # machinery (sweep peers on E->M too while any
+                        # vault is offline: see _write_upgrade)
+                        if st != EXCLUSIVE or (faults is not None
+                                               and faults.has_offline):
+                            self._invalidate_peer_vaults(core, block)
+                        l2.update(block, MODIFIED)
+                        vault = self.vaults[core]
+                        if vault.contains(block):
+                            vault.update(block, MODIFIED)
+                        st = MODIFIED
                 self._fill_l1_private(core, block, is_write, is_data, st)
                 return self.l2_latency, LEVEL_L2
 
+        offline = faults is not None and faults.offline[core]
         vault = self.vaults[core]
-        vst = vault.lookup(block)
-        if vst is not None:
-            # Local vault hit: one TAD access resolves tag + data.
-            lat = self.llc_latency
-            self.llc_accesses += 1
-            if is_write and vst != MODIFIED:
-                if vst != EXCLUSIVE:
-                    self._invalidate_peer_vaults(core, block)
-                vault.update(block, MODIFIED)
-                vst = MODIFIED
-            self._fill_private_levels(core, block, is_write, is_data, vst)
-            return lat, LEVEL_LLC_LOCAL
+        if not offline:
+            vst = vault.lookup(block)
+            if vst is not None:
+                # Local vault hit: one TAD access resolves tag + data.
+                lat = self.llc_latency
+                self.llc_accesses += 1
+                if faults is not None:
+                    vst, fault_lat = self._vault_hit_faults(core, block,
+                                                            vst)
+                    lat += fault_lat
+                if is_write and vst != MODIFIED:
+                    if vst != EXCLUSIVE or (faults is not None
+                                            and faults.has_offline):
+                        self._invalidate_peer_vaults(core, block)
+                    vault.update(block, MODIFIED)
+                    vst = MODIFIED
+                self._fill_private_levels(core, block, is_write, is_data,
+                                          vst)
+                return lat, LEVEL_LLC_LOCAL
 
-        # Local vault miss.
-        if self.local_mp == "ideal":
+        # Local vault miss (or the vault is offline and is bypassed).
+        if offline:
+            faults.remapped_accesses += 1
+            probe_skipped = True
+        elif self.local_mp == "ideal":
             probe_skipped = True
         elif self.missmaps is not None:
             probe_skipped = self.missmaps[core].predicts_miss(block)
@@ -644,7 +730,13 @@ class System:
         if self.tracer is not None:
             self.tracer.emit(EV_DIRECTORY, self.now, home, block,
                              "write" if is_write else "read")
-        if self.dir_cache == "ideal":
+        home_offline = faults is not None and faults.offline[home]
+        if home_offline:
+            # The home vault physically stores this block's directory
+            # set; with it offline, the home node falls back to
+            # broadcast-snooping every online vault's tag array.
+            lat += self._broadcast_snoop(home)
+        elif self.dir_cache == "ideal":
             pass  # metadata always in SRAM, zero cost
         elif self.sram_dir_cache is not None:
             dir_set = block % self.vaults[0].num_sets
@@ -654,6 +746,8 @@ class System:
         else:
             lat += self.dir_latency  # directory metadata is in DRAM
             self.llc_accesses += 1
+        if faults is not None and not home_offline:
+            lat += self._directory_faults(home, block)
 
         holders = self.directory.holder_states(block)
         new_state = MODIFIED if is_write else EXCLUSIVE
@@ -685,7 +779,20 @@ class System:
                     + self.memory.access(block, now)
                     + self.mesh.latency(port, core))
             level = LEVEL_MEMORY
+            if is_write and faults is not None and faults.has_offline:
+                # no holders, so _invalidate_peer_vaults did not run;
+                # directory-invisible offline copies still need killing
+                self._invalidate_offline_l1s(core, block)
 
+        if offline:
+            # No vault to fill: the line lives in L1/L2 only, kept
+            # Shared; stores write through so memory stays current.
+            self._fill_private_levels(core, block, is_write, is_data,
+                                      SHARED)
+            if is_write:
+                self.memory.access(block, self.now, is_write=True)
+                faults.write_throughs += 1
+            return lat, level
         self._fill_vault(core, block, new_state)
         self._fill_private_levels(core, block, is_write, is_data,
                                   new_state)
@@ -748,6 +855,8 @@ class System:
     def _fill_private_levels(self, core, block, is_write, is_data, state):
         """Fill L2 (if present) and L1 after a vault/remote/memory
         response in SILO."""
+        if self.faults is not None and self.faults.offline[core]:
+            state = SHARED  # degraded mode: no dirty on-chip state
         if self.l2 is not None:
             l2victim = self.l2[core].insert(block, state)
             if l2victim is not None:
@@ -764,7 +873,10 @@ class System:
     def _fill_l1_private(self, core, block, is_write, is_data, state):
         if not is_data:
             return
-        l1state = MODIFIED if is_write else state
+        if self.faults is not None and self.faults.offline[core]:
+            l1state = SHARED  # degraded mode: stores write through
+        else:
+            l1state = MODIFIED if is_write else state
         victim = self.l1d[core].insert(block, l1state)
         if victim is not None:
             vb, vst = victim
@@ -774,6 +886,225 @@ class System:
                 # (or L2), which already tracks the block as M.
                 if self.l2 is None and self.vaults[core].contains(vb):
                     self.llc_accesses += 1
+
+    # ------------------------------------------------------------------
+    # fault injection and recovery (repro.faults)
+    # ------------------------------------------------------------------
+
+    def _vault_hit_faults(self, core, block, vst):
+        """Tag- and data-array fault draws on a local vault hit.
+
+        Returns the possibly-degraded coherence state and any extra
+        recovery latency.  Corrected single-bit flips cost nothing (the
+        vault controller fixes them in flight); detected-uncorrectable
+        flips invalidate the line and refetch it from memory.
+        """
+        faults = self.faults
+        vault = self.vaults[core]
+        tag_ok = faults.tag_fault(
+            core, vault.metadata_word(vault.set_index(block)))
+        data_ok = None
+        if tag_ok is not False:
+            data_ok = faults.data_fault(core, block)
+        if tag_ok is False or data_ok is False:
+            kind = "tag" if tag_ok is False else "data"
+            return self._vault_uncorrectable(core, block, vst, kind)
+        return vst, 0.0
+
+    def _vault_uncorrectable(self, core, block, vst, kind):
+        """Recover a resident vault line from a detected-uncorrectable
+        ECC error: invalidate and refetch from memory.
+
+        If the vault copy was the only up-to-date one (dirty, with no
+        surviving on-chip copy above it), the data is gone -- a
+        declared data-loss event.  A dirty line whose L1/L2 still holds
+        a copy is written back from there first (recovered).  The
+        refill is clean, so Modified drops to Exclusive and Owned to
+        Shared (its peers' Shared copies stay valid).
+        """
+        faults = self.faults
+        vault = self.vaults[core]
+        dirty = is_dirty(vst)
+        l1st = self.l1d[core].invalidate(block)
+        l1ist = self.l1i[core].invalidate(block)
+        l2st = None
+        if self.l2 is not None:
+            l2st = self.l2[core].invalidate(block)
+        vault.invalidate(block)
+        if self.missmaps is not None:
+            self.missmaps[core].record_eviction(block)
+        recovered = (l1st is not None or l1ist is not None
+                     or l2st is not None)
+        if dirty:
+            if recovered:
+                # an on-chip copy above the vault still has the data
+                self.memory.access(block, self.now, is_write=True)
+            else:
+                faults.data_loss_events += 1
+        faults.refetches += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                EV_FAULT, self.now, core, block,
+                "%s_uncorrectable:%s" % (
+                    kind,
+                    "data_loss" if dirty and not recovered else "refetch"))
+        port = self.mesh.nearest_memory_port(core)
+        lat = (self.mesh.latency(core, port)
+               + self.memory.access(block, self.now)
+               + self.mesh.latency(port, core))
+        new_state = SHARED if vst in (SHARED, OWNED) else EXCLUSIVE
+        vault.insert(block, new_state)
+        self.llc_accesses += 1  # the refill write
+        if self.missmaps is not None:
+            self.missmaps[core].record_fill(block)
+        return new_state, lat
+
+    def _shared_llc_fault(self, bank, block, dirty):
+        """Data-array fault draw on a shared-LLC bank hit.  Returns
+        True when the line was lost to an uncorrectable error (the
+        caller falls through to the off-chip path and refills clean).
+        """
+        faults = self.faults
+        ok = faults.data_fault(bank, block)
+        if ok is not False:
+            return False
+        if dirty:
+            faults.data_loss_events += 1
+        faults.refetches += 1
+        self.llc.invalidate(block)
+        if self.tracer is not None:
+            self.tracer.emit(
+                EV_FAULT, self.now, bank, block,
+                "data_uncorrectable:%s" % (
+                    "data_loss" if dirty else "refetch"))
+        return True
+
+    def _directory_faults(self, home, block):
+        """Directory-entry fault draw at a home-node lookup; returns
+        extra recovery latency.  A corrected flip is scrubbed in place;
+        an uncorrectable one rebuilds the whole set from the vault tag
+        arrays it mirrors, costing one more metadata access."""
+        verdict = self.faults.directory_fault(self.directory, home,
+                                              block)
+        if verdict is None:
+            return 0.0
+        if self.tracer is not None:
+            self.tracer.emit(EV_FAULT, self.now, home, block,
+                             "directory_" + verdict)
+        if verdict == "rebuilt":
+            self.llc_accesses += 1  # re-reading the mirrored vault tags
+            return float(self.dir_latency)
+        return 0.0
+
+    def _broadcast_snoop(self, home):
+        """Directory fallback when the home vault is offline: the home
+        node queries every online vault's tag array directly.  Probes
+        proceed in parallel, so the farthest online peer bounds the
+        latency."""
+        faults = self.faults
+        faults.broadcast_snoops += 1
+        worst = 0
+        for c in range(self.num_cores):
+            if faults.offline[c]:
+                continue
+            self.llc_accesses += 1  # each online vault checks its tags
+            hops = self.mesh.latency(home, c)
+            if hops > worst:
+                worst = hops
+        return 2 * worst + self.llc_latency
+
+    def _invalidate_offline_l1s(self, core, block):
+        """Kill directory-invisible copies: cores whose vault is
+        offline cache read-only Shared lines the duplicate-tag
+        directory cannot track, so writes broadcast an invalidation to
+        them.  Offline copies are never dirty (write-through), so they
+        are simply dropped."""
+        faults = self.faults
+        for c in range(self.num_cores):
+            if c == core or not faults.offline[c]:
+                continue
+            hit = self.l1d[c].invalidate(block) is not None
+            if self.l1i[c].invalidate(block) is not None:
+                hit = True
+            if (self.l2 is not None
+                    and self.l2[c].invalidate(block) is not None):
+                hit = True
+            if hit:
+                self.invalidations += 1
+                if self.tracer is not None:
+                    self.tracer.emit(EV_INVALIDATE, self.now, c, block,
+                                     "offline_l1")
+
+    def _apply_vault_event(self, target, action):
+        """Apply a scheduled whole-vault (or shared-bank) offline /
+        online transition from the fault plan."""
+        faults = self.faults
+        if not 0 <= target < self.num_cores:
+            raise ValueError("vault event targets %r; system has %d "
+                             "vaults/banks" % (target, self.num_cores))
+        if action == "offline":
+            if faults.offline[target]:
+                return
+            if self.kind == LLC_SHARED:
+                self._drain_bank(target)
+            else:
+                self._drain_vault(target)
+            faults.set_offline(target, True)
+            faults.offline_events += 1
+        else:
+            if not faults.offline[target]:
+                return
+            if self.kind != LLC_SHARED:
+                # Drop the core's (clean, write-through) degraded-mode
+                # copies so everything it caches next is vault-tracked.
+                self.l1d[target].clear()
+                self.l1i[target].clear()
+                if self.l2 is not None:
+                    self.l2[target].clear()
+            faults.set_offline(target, False)
+            faults.online_events += 1
+        if self.tracer is not None:
+            self.tracer.emit(EV_FAULT, self.now, target, -1,
+                             "vault_" + action)
+
+    def _drain_vault(self, core):
+        """Take a private vault offline: write dirty lines back to
+        memory, invalidate everything above it (inclusion) and clear
+        the arrays.  The duplicate-tag directory stays consistent
+        automatically -- an empty vault simply has no entries."""
+        faults = self.faults
+        vault = self.vaults[core]
+        for vb, vst in list(vault.blocks()):
+            l1st = self.l1d[core].invalidate(vb)
+            self.l1i[core].invalidate(vb)
+            l2st = None
+            if self.l2 is not None:
+                l2st = self.l2[core].invalidate(vb)
+            if self.missmaps is not None:
+                self.missmaps[core].record_eviction(vb)
+            if (is_dirty(vst) or (l1st is not None and is_dirty(l1st))
+                    or (l2st is not None and is_dirty(l2st))):
+                self.memory.access(vb, self.now, is_write=True)
+                faults.drained_dirty += 1
+        vault.clear()
+        # Inclusion means nothing survives above an empty vault, but
+        # clear explicitly so degraded mode starts from a known state.
+        self.l1d[core].clear()
+        self.l1i[core].clear()
+        if self.l2 is not None:
+            self.l2[core].clear()
+
+    def _drain_bank(self, bank_id):
+        """Take a shared-LLC bank offline: flush dirty lines to memory
+        and clear it.  L1 coherence is unaffected (the sharer table is
+        SRAM at the tiles, not in the bank)."""
+        faults = self.faults
+        bank = self.llc.banks[bank_id]
+        for vb, dirty in list(bank.blocks()):
+            if dirty:
+                self.memory.access(vb, self.now, is_write=True)
+                faults.drained_dirty += 1
+        bank.clear()
 
     # ------------------------------------------------------------------
     # statistics helpers

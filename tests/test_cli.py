@@ -115,3 +115,38 @@ def test_cli_chart_flag(capsys, monkeypatch):
     assert main(["fig4", "--scale", "1024", "--chart"]) == 0
     out = capsys.readouterr().out
     assert "multiplier" in out
+
+
+def test_cli_fault_flags_on_sim_experiment(capsys):
+    assert main(["fig3", "--scale", "1024", "--sampling", "1500:800",
+                 "--faults", "0.05", "--fault-seed", "3",
+                 "--no-cache", "--json"]) == 0
+    import json
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["experiment"] == "fig3"
+
+
+def test_cli_resilience_with_rate_override(capsys):
+    assert main(["resilience", "--scale", "128",
+                 "--sampling", "1500:800", "--faults", "0.05",
+                 "--no-cache", "--json"]) == 0
+    import json
+    doc = json.loads(capsys.readouterr().out)
+    rates = {r["flips_per_M"] for r in doc["rows"]
+             if r["scenario"] == "bit_flips"}
+    assert rates == {0.0, 0.05 * 1e6}
+
+
+def test_cli_rejects_out_of_range_fault_rate():
+    with pytest.raises(SystemExit):
+        main(["fig3", "--faults", "1.5"])
+
+
+def test_cli_rejects_fault_flags_for_static_experiments():
+    with pytest.raises(SystemExit):
+        main(["table1", "--faults", "0.1"])
+
+
+def test_cli_rejects_stalls_for_resilience():
+    with pytest.raises(SystemExit):
+        main(["resilience", "--fault-stalls", "0.1"])

@@ -138,6 +138,65 @@ def test_request_key_is_stable_and_content_addressed():
     assert len(code_fingerprint()) == 64
 
 
+def test_fault_plan_is_part_of_the_request_key():
+    from repro.faults.plan import FaultPlan, use_plan
+    faulted = FaultPlan(seed=1, data_flip_rate=1e-3)
+    assert (_point().key("fp")
+            != _point_with(faults=faulted).key("fp"))
+    # two different plans key differently too
+    assert (_point_with(faults=faulted).key("fp")
+            != _point_with(faults=FaultPlan(seed=2,
+                                            data_flip_rate=1e-3)).key("fp"))
+    # the ambient plan is resolved at request construction
+    with use_plan(faulted):
+        assert _point().key("fp") == _point_with(faults=faulted).key("fp")
+
+
+def _point_with(**kwargs):
+    return RunRequest.point(
+        system_config("baseline", num_cores=4, scale=SCALE),
+        SCALEOUT_WORKLOADS["web_search"], PLAN, 7, **kwargs)
+
+
+def test_cached_fault_free_summary_not_replayed_for_faulted_request(
+        tmp_path):
+    """Regression: a faulted request must never be served a fault-free
+    cached summary (the plan is keyed, so it misses and simulates)."""
+    from repro.faults.plan import FaultPlan
+    cache = RunCache(str(tmp_path))
+    warm_engine = RunEngine(jobs=1, cache=cache)
+    (clean,) = warm_engine.run([_point()])           # cache fault-free
+    assert warm_engine.executed == 1
+
+    faulted_req = _point_with(faults=FaultPlan(
+        seed=1, data_flip_rate=0.05, tag_flip_rate=0.05,
+        double_bit_fraction=1.0))
+    engine = RunEngine(jobs=1, cache=cache)
+    (faulted,) = engine.run([faulted_req])
+    assert engine.cache_hits == 0                    # keyed apart
+    assert engine.executed == 1
+    assert "faults" in faulted.counters
+    assert faulted.counters["faults"]["injected"] > 0
+    assert faulted.performance() != clean.performance()
+
+    # and the faulted summary replays only for the same plan
+    replay = RunEngine(jobs=1, cache=cache)
+    (again,) = replay.run([faulted_req])
+    assert replay.cache_hits == 1 and replay.executed == 0
+    assert again.performance() == faulted.performance()
+
+
+def test_fingerprint_covers_fault_sources():
+    """The code fingerprint walks every repro source file, so editing
+    repro.faults invalidates cached summaries."""
+    from repro.sim.engine import fingerprint_files
+    files = fingerprint_files()
+    assert any(f.endswith("faults/injector.py") for f in files)
+    assert any(f.endswith("faults/ecc.py") for f in files)
+    assert any(f.endswith("faults/plan.py") for f in files)
+    assert any(f.endswith("sim/system.py") for f in files)
+
+
 def test_cache_tolerates_corruption(tmp_path):
     cache = RunCache(str(tmp_path))
     key = _point().key("fp")

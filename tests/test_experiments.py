@@ -184,3 +184,30 @@ def test_fig16_three_level_structure():
     sram = [r for r in rows if r["system"] == "3level-SRAM"
             and r["workload"] == "MapReduce"][0]
     assert sram["normalized_performance"] == 1.0
+
+
+def test_resilience_structure_and_isolation():
+    from repro.experiments.resilience import resilience
+    # scale 128 (not the module's 512): the LLC must be hot enough
+    # that bank-0 hits actually draw faults on the shared org
+    rows = resilience(plan=TINY, scale=128, rates=(0.0, 0.05),
+                      double_bit_fraction=1.0)
+    assert {r["system"] for r in rows} == {"baseline", "silo"}
+    assert {r["scenario"] for r in rows} == {"bit_flips", "vault_offline"}
+    by = {(r["system"], r["scenario"], r["flips_per_M"]): r for r in rows}
+
+    for system in ("baseline", "silo"):
+        base = by[(system, "bit_flips", 0.0)]
+        assert base["normalized_performance"] == 1.0
+        faulted = by[(system, "bit_flips", 0.05 * 1e6)]
+        assert faulted["normalized_performance"] <= 1.0
+        assert faulted["injected"] > 0
+        offline = by[(system, "vault_offline", 0.0)]
+        assert offline["normalized_performance"] < 1.0
+        assert offline["remapped"] > 0
+
+    # private vaults degrade per-core; the shared LLC degrades globally
+    silo_off = by[("silo", "vault_offline", 0.0)]
+    shared_off = by[("baseline", "vault_offline", 0.0)]
+    assert silo_off["faulted_core"] < silo_off["other_cores"]
+    assert silo_off["other_cores"] > shared_off["other_cores"]
