@@ -1,0 +1,152 @@
+"""Fast-path acceptance benchmark: shadow-filter kernel throughput.
+
+Two measurements on the fig10 system configurations (16 cores,
+scale 64, seed 7):
+
+1. **Headline regime** -- an L1-resident stress workload (code and
+   heap both fit the scaled L1s, zipf alpha 2.5) where nearly every
+   event is a retirable hit streak.  The kernel must deliver >= 2x
+   measure-phase events/sec on both the shared-LLC baseline and the
+   SILO private-vault organisation (locally it clears 3x; the CI gate
+   absorbs runner noise).
+2. **Honest suite numbers** -- two fig10 scale-out workloads, where
+   18-40% true L1 miss rates cap any hit-batching kernel well below
+   2x (Amdahl; see DESIGN.md Sec. 2f).  These ratios are recorded,
+   not asserted: the bail-out keeps them at parity, and the point of
+   publishing them is that nobody mistakes the stress headline for a
+   suite-wide claim.
+
+Both regimes also re-assert the only invariant that really matters:
+results with the kernel on are bit-identical to the reference loop.
+
+Timings are medians over interleaved on/off repetitions (the host
+jitters by +-10-20%; back-to-back pairs see the same machine state).
+Everything is written to ``benchmarks/results/BENCH_fastpath.json``.
+"""
+
+import json
+import os
+from statistics import median
+
+from repro.core.systems import system_config
+from repro.cores.perf_model import CoreParams
+from repro.sim.driver import simulate
+from repro.sim.sampling import SamplingPlan
+from repro.workloads.base import CodeSpec, RegionSpec, WorkloadSpec
+from repro.workloads.scaleout import SCALEOUT_WORKLOADS
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_fastpath.json")
+
+NUM_CORES = 16
+SCALE = 64
+SEED = 7
+CHUNK = 1000
+PLAN = SamplingPlan(60_000, 20_000)
+REPS = 5
+
+#: Everything fits the scaled L1s (64 blocks = 0.125 MB / scale) and
+#: the zipf skew keeps the hot set resident, so the event stream is
+#: almost entirely retirable hit streaks -- the regime the kernel is
+#: built for (an L1-resident phase of a server loop).
+STRESS_SPEC = WorkloadSpec(
+    name="l1_resident_stress",
+    code=CodeSpec(size_mb=0.125, alpha=2.0),
+    regions=(
+        RegionSpec("heap", 0.125, "zipf", "private", 1.0,
+                   alpha=2.5, write_fraction=0.3),
+    ),
+    core=CoreParams(),
+)
+
+SUITE_WORKLOADS = ("web_search", "web_frontend")
+
+
+def _measure(config, spec, plan, reps):
+    """Interleaved on/off repetitions; returns (median eps on,
+    median eps off, one on/off result pair for the identity pin)."""
+    on, off = [], []
+    pair = None
+    for _ in range(reps):
+        fast = simulate(config, spec, plan, seed=SEED, chunk=CHUNK,
+                        fastpath=True)
+        slow = simulate(config, spec, plan, seed=SEED, chunk=CHUNK,
+                        fastpath=False)
+        on.append(fast.events_per_sec())
+        off.append(slow.events_per_sec())
+        pair = (fast, slow)
+    return median(on), median(off), pair
+
+
+def _identical(fast, slow):
+    return (fast.performance() == slow.performance()
+            and fast.level_counts() == slow.level_counts()
+            and fast.stats_snapshot() == slow.stats_snapshot()
+            and fast.latency_percentiles() == slow.latency_percentiles())
+
+
+def test_fastpath_speedup(bench_extra):
+    record = {"num_cores": NUM_CORES, "scale": SCALE, "seed": SEED,
+              "chunk": CHUNK, "reps": REPS,
+              "plan": {"warmup_events": PLAN.warmup_events,
+                       "measure_events": PLAN.measure_events},
+              "stress": {}, "suite": {}}
+
+    stress_ratios = {}
+    for name in ("baseline", "silo"):
+        config = system_config(name, num_cores=NUM_CORES, scale=SCALE)
+        eps_on, eps_off, (fast, slow) = _measure(
+            config, STRESS_SPEC, PLAN, REPS)
+        assert _identical(fast, slow)
+        filt = fast.system.shadow_filter
+        assert filt is not None and not filt.bailed
+        ratio = eps_on / eps_off
+        stress_ratios[name] = ratio
+        record["stress"][name] = {
+            "events_per_sec_on": round(eps_on),
+            "events_per_sec_off": round(eps_off),
+            "speedup": round(ratio, 3),
+            "retired_fraction": round(
+                filt.retired_events / filt.total_events, 4),
+        }
+
+    # Honest fig10-suite ratios: parity is the expected outcome (the
+    # kernel bails on miss-bound streams); recorded, never asserted.
+    suite_plan = SamplingPlan(20_000, 10_000)
+    for wl in SUITE_WORKLOADS:
+        spec = SCALEOUT_WORKLOADS[wl]
+        config = system_config("silo", num_cores=NUM_CORES,
+                               scale=SCALE)
+        eps_on, eps_off, (fast, slow) = _measure(
+            config, spec, suite_plan, 3)
+        assert _identical(fast, slow)
+        filt = fast.system.shadow_filter
+        record["suite"][wl] = {
+            "events_per_sec_on": round(eps_on),
+            "events_per_sec_off": round(eps_off),
+            "speedup": round(eps_on / eps_off, 3),
+            "bailed": filt.bailed,
+            "retired_fraction": round(
+                filt.retired_events / max(filt.total_events, 1), 4),
+        }
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(BENCH_PATH, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    bench_extra({"fastpath": record})
+
+    print()
+    for name, r in record["stress"].items():
+        print("stress  %-8s  %8d -> %8d ev/s  (%.2fx, retired %.1f%%)"
+              % (name, r["events_per_sec_off"], r["events_per_sec_on"],
+                 r["speedup"], 100 * r["retired_fraction"]))
+    for wl, r in record["suite"].items():
+        print("suite   %-12s %8d -> %8d ev/s  (%.2fx, bailed=%s)"
+              % (wl, r["events_per_sec_off"], r["events_per_sec_on"],
+                 r["speedup"], r["bailed"]))
+
+    # The headline gate: >= 2x on both organisations (locally ~3x;
+    # the slack absorbs shared-runner noise).
+    assert stress_ratios["baseline"] >= 2.0
+    assert stress_ratios["silo"] >= 2.0

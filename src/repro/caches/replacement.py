@@ -20,6 +20,8 @@ from random import Random
 class LRUPolicy:
     """Least-recently-used: touched tags move to the back of the set."""
 
+    __slots__ = ()
+
     name = "lru"
     reorder_on_hit = True
 
@@ -31,6 +33,8 @@ class LRUPolicy:
 class FIFOPolicy:
     """First-in-first-out: eviction order is insertion order."""
 
+    __slots__ = ()
+
     name = "fifo"
     reorder_on_hit = False
 
@@ -40,6 +44,8 @@ class FIFOPolicy:
 
 class RandomPolicy:
     """Uniformly random victim (deterministic given the seed)."""
+
+    __slots__ = ("_rng",)
 
     name = "random"
     reorder_on_hit = False

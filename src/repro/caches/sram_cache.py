@@ -32,7 +32,16 @@ class SetAssocCache:
         None, from a private ``Random(seed)`` -- never from the
         module-level stream, so runs stay reproducible from the
         manifest-recorded seed (silolint SL001).
+
+    When a :class:`repro.sim.fastpath.ShadowView` is attached as
+    ``shadow``, every content mutation (insert, evict, state change,
+    invalidate, clear) notifies it -- the fast-path kernel's safe-set
+    invariant depends on no mutation bypassing these hooks.
     """
+
+    __slots__ = ("size_bytes", "ways", "block_bytes", "num_sets",
+                 "index_stride", "policy", "_reorder", "_sets",
+                 "shadow")
 
     def __init__(self, size_bytes, ways, block_bytes=BLOCK_BYTES,
                  policy="lru", index_stride=1, seed=0, rng=None):
@@ -51,6 +60,7 @@ class SetAssocCache:
         self.policy = make_policy(policy, seed, rng)
         self._reorder = self.policy.reorder_on_hit
         self._sets = [dict() for _ in range(self.num_sets)]
+        self.shadow = None
 
     @property
     def capacity_blocks(self):
@@ -64,7 +74,8 @@ class SetAssocCache:
     def lookup(self, block, touch=True):
         """Return the block's state, or None on miss.  ``touch`` updates
         recency (skip for coherence probes that should not perturb LRU)."""
-        entries = self._sets[self.set_index(block)]
+        # set_index inlined: this runs once per simulated reference
+        entries = self._sets[(block // self.index_stride) % self.num_sets]
         state = entries.get(block)
         if state is None:
             return None
@@ -75,30 +86,40 @@ class SetAssocCache:
 
     def contains(self, block):
         """Residency check without touching recency."""
-        return block in self._sets[self.set_index(block)]
+        return block in self._sets[(block // self.index_stride)
+                                   % self.num_sets]
 
     def update(self, block, state):
         """Change a resident block's state without touching recency.
         Raises KeyError if the block is not resident."""
-        entries = self._sets[self.set_index(block)]
+        entries = self._sets[(block // self.index_stride) % self.num_sets]
         if block not in entries:
             raise KeyError("block %d not resident" % block)
         entries[block] = state
+        if self.shadow is not None:
+            self.shadow.note(block, state, entries)
 
     def insert(self, block, state):
         """Insert (or refresh) a block.  Returns the evicted
         ``(victim_block, victim_state)`` pair or None if no eviction."""
-        entries = self._sets[self.set_index(block)]
+        entries = self._sets[(block // self.index_stride) % self.num_sets]
+        shadow = self.shadow
         if block in entries:
             if self._reorder:
                 del entries[block]
             entries[block] = state
+            if shadow is not None:
+                shadow.note(block, state, entries)
             return None
         victim = None
         if len(entries) >= self.ways:
             vblock = self.policy.victim(entries)
             victim = (vblock, entries.pop(vblock))
+            if shadow is not None:
+                shadow.drop(vblock)
         entries[block] = state
+        if shadow is not None:
+            shadow.note(block, state, entries)
         return victim
 
     def insert_cold(self, block, state):
@@ -106,24 +127,34 @@ class SetAssocCache:
         for speculative copies -- victim replicas, prefetches -- that
         must not displace proven-hot residents on arrival.  Returns the
         evicted (victim_block, victim_state) or None."""
-        entries = self._sets[self.set_index(block)]
+        entries = self._sets[(block // self.index_stride) % self.num_sets]
         if block in entries:
             return None
+        shadow = self.shadow
         victim = None
         if len(entries) >= self.ways:
             vblock = self.policy.victim(entries)
             victim = (vblock, entries.pop(vblock))
-        # rebuild with the new block in front (dict order = LRU order)
+            if shadow is not None:
+                shadow.drop(vblock)
+        # rebuild with the new block in front (dict order = LRU order);
+        # the dict object survives, so shadow references stay valid
         old = list(entries.items())
         entries.clear()
         entries[block] = state
         for k, v in old:
             entries[k] = v
+        if shadow is not None:
+            shadow.note(block, state, entries)
         return victim
 
     def invalidate(self, block):
         """Remove a block; returns its state or None if absent."""
-        return self._sets[self.set_index(block)].pop(block, None)
+        state = self._sets[(block // self.index_stride)
+                           % self.num_sets].pop(block, None)
+        if state is not None and self.shadow is not None:
+            self.shadow.drop(block)
+        return state
 
     def blocks(self):
         """Iterate over (block, state) pairs (test/debug helper)."""
@@ -139,3 +170,5 @@ class SetAssocCache:
         """Drop every resident block."""
         for entries in self._sets:
             entries.clear()
+        if self.shadow is not None:
+            self.shadow.wipe()

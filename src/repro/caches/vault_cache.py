@@ -17,6 +17,9 @@ from repro.params import BLOCK_BYTES
 class VaultCache:
     """A direct-mapped vault of 64-byte TAD blocks."""
 
+    __slots__ = ("size_bytes", "block_bytes", "num_sets", "tags",
+                 "states")
+
     def __init__(self, size_bytes, block_bytes=BLOCK_BYTES):
         if size_bytes <= 0 or size_bytes % block_bytes != 0:
             raise ValueError("vault size must be a positive multiple of "

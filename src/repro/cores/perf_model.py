@@ -59,6 +59,11 @@ class CoreParams:
 class CoreModel:
     """One core's instruction and stall accounting."""
 
+    __slots__ = ("core_id", "params", "instructions",
+                 "data_latency", "data_count",
+                 "ifetch_latency", "ifetch_count",
+                 "rw_shared_latency", "rw_shared_count", "latency_hist")
+
     def __init__(self, core_id, params):
         self.core_id = core_id
         self.params = params
@@ -129,11 +134,15 @@ class CoreModel:
         return self.instructions / cyc if cyc > 0 else 0.0
 
     def reset(self):
+        # In place, not rebound: the stats registry and the fast-path
+        # shadow filter (repro.sim.fastpath) hold references to these
+        # lists across reset_stats().
         self.instructions = 0
-        self.data_latency = [0.0] * NUM_LEVELS
-        self.data_count = [0] * NUM_LEVELS
-        self.ifetch_latency = [0.0] * NUM_LEVELS
-        self.ifetch_count = [0] * NUM_LEVELS
+        for lvl in range(NUM_LEVELS):
+            self.data_latency[lvl] = 0.0
+            self.data_count[lvl] = 0
+            self.ifetch_latency[lvl] = 0.0
+            self.ifetch_count[lvl] = 0
         self.rw_shared_latency = 0.0
         self.rw_shared_count = 0
         for h in self.latency_hist:

@@ -19,6 +19,8 @@ from repro.experiments.common import render_table
 from repro.obs import manifest as obs_manifest
 from repro.obs import session as obs_session
 from repro.sim import engine as sim_engine
+from repro.sim.driver import DEFAULT_CHUNK, use_chunk
+from repro.sim.fastpath import use_fastpath
 from repro.sim.sampling import PRESETS, parse_plan
 
 
@@ -95,11 +97,21 @@ def main(argv=None):
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the run cache (every point "
                              "simulates)")
+    parser.add_argument("--no-fastpath", action="store_true",
+                        help="disable the shadow-filter batch kernel "
+                             "(results are bit-identical; only "
+                             "throughput changes)")
+    parser.add_argument("--chunk", type=int, default=None, metavar="N",
+                        help="core-interleave grain in events "
+                             "(default: $REPRO_CHUNK or %d)"
+                             % DEFAULT_CHUNK)
     args = parser.parse_args(argv)
     if args.trace < 0:
         parser.error("--trace must be positive")
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.chunk is not None and args.chunk < 1:
+        parser.error("--chunk must be >= 1")
     for flag, value in (("--faults", args.faults),
                         ("--fault-stalls", args.fault_stalls)):
         if value is not None and not 0.0 <= value <= 1.0:
@@ -159,12 +171,17 @@ def main(argv=None):
         plan_ctx = use_plan(fault_plan)
     else:
         plan_ctx = contextlib.nullcontext()
+    fastpath_ctx = (use_fastpath(False) if args.no_fastpath
+                    else contextlib.nullcontext())
+    chunk_ctx = (use_chunk(args.chunk) if args.chunk is not None
+                 else contextlib.nullcontext())
 
     start = time.time()
     with obs_session.observe(trace_capacity=args.trace,
                              collect_manifests=args.manifest is not None,
                              collect_stats=args.stats) as session:
-        with sim_engine.use_engine(engine), plan_ctx:
+        with sim_engine.use_engine(engine), plan_ctx, \
+                fastpath_ctx, chunk_ctx:
             rows = func(**kwargs)
     elapsed = time.time() - start
 

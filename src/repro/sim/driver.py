@@ -8,9 +8,13 @@ local clock -- base CPI plus its exposed stall cycles -- which also
 timestamps memory-controller bank occupancy.
 """
 
+import os
 import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from typing import List, Optional
+
+import numpy as np
 
 from repro.cores.perf_model import (
     NUM_LEVELS, LEVEL_NAMES, LEVEL_LLC_LOCAL, LEVEL_LLC_REMOTE,
@@ -19,56 +23,141 @@ from repro.obs import manifest as _manifest
 from repro.obs import session as _obs_session
 from repro.obs.stats import Distribution
 from repro.sim.config import LLC_PRIVATE_VAULT
+from repro.sim.fastpath import kernel_for
 from repro.sim.system import System
 
 DEFAULT_CHUNK = 200
 
+_chunk_override = None
+
+
+def default_chunk():
+    """Ambient core-interleave chunk: the :func:`use_chunk` override
+    when one is installed, else ``$REPRO_CHUNK``, else
+    ``DEFAULT_CHUNK``."""
+    if _chunk_override is not None:
+        return _chunk_override
+    raw = os.environ.get("REPRO_CHUNK", "").strip()
+    if raw:
+        try:
+            chunk = int(raw)
+        except ValueError:
+            raise ValueError("REPRO_CHUNK must be an integer, got %r"
+                             % raw) from None
+        if chunk < 1:
+            raise ValueError("REPRO_CHUNK must be >= 1, got %d" % chunk)
+        return chunk
+    return DEFAULT_CHUNK
+
+
+@contextmanager
+def use_chunk(chunk):
+    """Install ``chunk`` as the ambient interleave grain for the block
+    (the CLI wraps experiments in this for ``--chunk``)."""
+    chunk = int(chunk)
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    global _chunk_override
+    prev = _chunk_override
+    _chunk_override = chunk
+    try:
+        yield
+    finally:
+        _chunk_override = prev
+
+
+def _decoded_lanes(trace, params):
+    """Pre-decoded event lanes of one trace, memoized on the trace
+    object (keyed by the CoreParams that shaped them): the write and
+    ifetch flags split out, the stall-time multiplier
+    (ifetch_stall_factor for ifetches, 1/mlp for data) resolved per
+    event, the fast-path event-key lane (``block << 2 | flags``, see
+    repro.sim.fastpath) and a running ifetch count for O(1) per-streak
+    counter bumps.
+
+    The decode is vectorized with numpy and done once per
+    trace+params; warmup and measure phases -- and any later run over
+    the same trace -- reuse it.  The hot loops index plain Python
+    lists (``tolist()``), which CPython reads faster than numpy
+    scalars.  Values are bit-identical to the original per-event
+    ``iff if fl & 2 else inv_mlp`` decode: both multiplier operands
+    are the same two Python floats either way."""
+    cached = getattr(trace, "cached_lanes", None)
+    if cached is not None and cached[0] == params:
+        return cached[1]
+    flags = np.asarray(trace.flags, dtype=np.int64)
+    blocks = np.asarray(trace.blocks, dtype=np.int64)
+    inv_mlp = 1.0 / params.mlp
+    iff = params.ifetch_stall_factor
+    ifetch_bits = flags & 2
+    if_prefix = np.zeros(len(flags) + 1, dtype=np.int64)
+    np.cumsum(ifetch_bits, out=if_prefix[1:])
+    lanes = ((flags & 1).tolist(), ifetch_bits.tolist(),
+             np.where(ifetch_bits != 0, iff, inv_mlp).tolist(),
+             ((blocks << 2) | (flags & 3)).tolist(),
+             if_prefix.tolist())
+    trace.cached_lanes = (params, lanes)
+    return lanes
+
 
 def _per_core_state(system, traces):
-    """Pre-decode each trace's event stream for the hot loop: the write
-    and ifetch flags are split into their own lanes and the stall-time
-    multiplier (ifetch_stall_factor for ifetches, 1/mlp for data) is
-    resolved per event, so ``_drive`` does no per-event flag tests or
-    attribute lookups.  Multiplier values and operand order match the
-    original ``lat * iff if fl & 2 else lat * inv_mlp`` expression
-    exactly, so timing is bit-identical."""
+    """Per-core hot-loop state: core id, the block lane, the decoded
+    flag/multiplier/key lanes (see :func:`_decoded_lanes`) and the
+    cycles retired per event, so ``_drive`` does no per-event flag
+    tests or attribute lookups."""
     out = []
     for tr in traces:
         p = system.cores[tr.core_id].params
-        inv_mlp = 1.0 / p.mlp
-        iff = p.ifetch_stall_factor
-        flags = tr.flags
-        writes = [fl & 1 for fl in flags]
-        ifetches = [fl & 2 for fl in flags]
-        lat_mul = [iff if fl & 2 else inv_mlp for fl in flags]
+        writes, ifetches, lat_mul, keys, if_prefix = _decoded_lanes(tr, p)
         out.append((
             tr.core_id, tr.blocks, writes, ifetches, lat_mul,
-            tr.instr_per_event * p.base_cpi,
+            tr.instr_per_event * p.base_cpi, keys, if_prefix,
         ))
     return out
 
 
+# silolint: hotpath
 def _drive(system, per_core, starts, ends, times, chunk):
     """Interleave cores in ``chunk``-sized slices from per-core start to
     per-core end positions (positions may differ when prewarm prefixes
-    have different lengths)."""
+    have different lengths).
+
+    When the system qualifies (repro.sim.fastpath), runs of
+    guaranteed-trivial L1 hits are retired in bulk by the shadow-filter
+    kernel and only the remaining events call ``System.access``;
+    results are bit-identical either way.  ``system.measuring`` is
+    hoisted per drive: it only changes between phases (prefetcher
+    configs flip it mid-access, but those disqualify the kernel).
+    """
     access = system.access
+    kernel = kernel_for(system)
+    retire = None if kernel is None else kernel.retire_chunk
+    measuring = system.measuring
     positions = list(starts)
     remaining = sum(e - s for s, e in zip(starts, ends))
     while remaining > 0:
-        for idx, (core, blocks, writes, ifetches, lat_mul, cpi_ev) in \
-                enumerate(per_core):
+        for idx, (core, blocks, writes, ifetches, lat_mul, cpi_ev,
+                  keys, if_prefix) in enumerate(per_core):
             pos = positions[idx]
             hi = min(pos + chunk, ends[idx])
             if pos >= hi:
                 continue
-            t = times[core]
-            for i in range(pos, hi):
-                lat = access(core, blocks[i], writes[i], ifetches[i], t)
-                t += cpi_ev
-                if lat:
-                    t += lat * lat_mul[i]
-            times[core] = t
+            if retire is None:
+                t = times[core]
+                for i in range(pos, hi):
+                    lat = access(core, blocks[i], writes[i], ifetches[i],
+                                 t)
+                    t += cpi_ev
+                    if lat:
+                        t += lat * lat_mul[i]
+                times[core] = t
+            else:
+                times[core] = retire(core, blocks, writes, ifetches,
+                                     lat_mul, cpi_ev, keys, if_prefix,
+                                     pos, hi, times[core], access,
+                                     measuring)
+                if kernel.bailed:
+                    retire = None
             remaining -= hi - pos
             positions[idx] = hi
 
@@ -205,6 +294,8 @@ class RunResult:
         }
         if sys_.config.llc_kind == LLC_PRIVATE_VAULT:
             data["protocol_provenance"] = _manifest.protocol_provenance()
+        if sys_.shadow_filter is not None:
+            data["fastpath"] = sys_.shadow_filter.summary()
         if sys_.tracer is not None:
             data["trace"] = sys_.tracer.summary()
         if sys_.faults is not None:
@@ -215,15 +306,19 @@ class RunResult:
 
 
 def run_system(system, traces, warmup_events, measure_events,
-               chunk=DEFAULT_CHUNK, seed=None):
+               chunk=None, seed=None):
     """Warm up (prewarm prefix + ``warmup_events``), reset statistics,
     measure ``measure_events`` per core; returns a RunResult.
 
-    Both phases are wall-clock timed (the simulator's self-profiling
-    throughput meter).  If an observation session is open (CLI
-    ``--stats/--trace/--manifest``), a tracer is attached before
-    driving and a provenance record is deposited after.
+    ``chunk`` is the core-interleave grain; None resolves the ambient
+    default (:func:`default_chunk`).  Both phases are wall-clock timed
+    (the simulator's self-profiling throughput meter).  If an
+    observation session is open (CLI ``--stats/--trace/--manifest``),
+    a tracer is attached before driving and a provenance record is
+    deposited after.
     """
+    if chunk is None:
+        chunk = default_chunk()
     warm_ends = []
     for tr in traces:
         end = tr.prewarm_events + warmup_events
@@ -259,11 +354,14 @@ def run_system(system, traces, warmup_events, measure_events,
 
 
 def simulate(config, spec, plan, core_params=None, seed=0,
-             track_sharing=False, chunk=DEFAULT_CHUNK, faults=None):
+             track_sharing=False, chunk=None, faults=None,
+             fastpath=None):
     """Convenience wrapper: build the system, generate traces for a
     homogeneous workload, run, and return the RunResult.  ``faults``
     is an optional :class:`repro.faults.FaultPlan`; inactive plans
-    attach nothing (bit-identical to fault-free)."""
+    attach nothing (bit-identical to fault-free).  ``fastpath``
+    forces the shadow-filter kernel on/off (None keeps the ambient
+    default); results are identical either way."""
     from repro.workloads.generator import generate_traces
 
     n = config.num_cores
@@ -271,6 +369,8 @@ def simulate(config, spec, plan, core_params=None, seed=0,
         core_params = [spec.core] * n
     system = System(config, core_params)
     system.track_sharing = track_sharing
+    if fastpath is not None:
+        system.use_fastpath = fastpath
     if faults is not None and faults.active():
         from repro.faults.injector import FaultInjector
         system.attach_faults(FaultInjector(faults, n))

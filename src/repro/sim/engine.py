@@ -56,7 +56,8 @@ from repro.obs import manifest as _manifest
 from repro.obs import session as _obs_session
 from repro.obs.stats import Distribution, Group
 from repro.sim.config import HierarchyConfig, LLC_PRIVATE_VAULT
-from repro.sim.driver import DEFAULT_CHUNK, run_system
+from repro.sim.driver import DEFAULT_CHUNK, default_chunk, run_system
+from repro.sim.fastpath import default_enabled
 from repro.sim.sampling import SamplingPlan
 from repro.workloads.base import WorkloadSpec
 
@@ -64,7 +65,11 @@ from repro.workloads.base import WorkloadSpec
 #: changes: stale cache entries must not satisfy new-schema lookups.
 #: /2: requests carry an optional FaultPlan (keys and summaries of
 #: faulted runs must never alias fault-free ones).
-ENGINE_SCHEMA = "silo-repro-runsummary/2"
+#: /3: requests record the fast-path setting.  The shadow-filter
+#: kernel is bit-identical to the reference loop, but the key must
+#: say *how* a summary was produced so a cached result can always be
+#: traced back to the exact execution path that made it.
+ENGINE_SCHEMA = "silo-repro-runsummary/3"
 
 #: Default on-disk cache location (the CLI's default; library use only
 #: caches when $REPRO_CACHE_DIR is set -- see resolve_cache_dir).
@@ -94,29 +99,41 @@ class RunRequest:
     colocated: bool = False
     track_sharing: bool = False
     chunk: int = DEFAULT_CHUNK
+    #: Shadow-filter batch kernel (repro.sim.fastpath).  Results are
+    #: bit-identical either way -- recorded for provenance, defaulted
+    #: from the ambient setting by the constructors.
+    fastpath: bool = True
     #: Optional fault plan (repro.faults); None means fault-free and
     #: keys differently from any active plan.
     faults: Optional[FaultPlan] = None
 
     @classmethod
     def point(cls, config, spec, plan, seed, core_ids=None,
-              track_sharing=False, chunk=DEFAULT_CHUNK, faults=None):
+              track_sharing=False, chunk=None, faults=None,
+              fastpath=None):
         """A homogeneous point: ``spec`` on all cores (or ``core_ids``),
         exactly like :func:`repro.sim.driver.simulate`.  ``faults``
         defaults to the ambient plan installed by
-        :func:`repro.faults.use_plan` (None when none is installed)."""
+        :func:`repro.faults.use_plan` (None when none is installed);
+        ``chunk`` and ``fastpath`` default to the ambient settings
+        (:func:`repro.sim.driver.use_chunk`,
+        :func:`repro.sim.fastpath.use_fastpath`)."""
         if core_ids is None:
             core_ids = tuple(range(config.num_cores))
         if faults is None:
             faults = current_plan()
+        if chunk is None:
+            chunk = default_chunk()
+        if fastpath is None:
+            fastpath = default_enabled()
         return cls(config=config, placements=((spec, tuple(core_ids)),),
                    plan=plan, seed=seed, colocated=False,
                    track_sharing=track_sharing, chunk=chunk,
-                   faults=faults)
+                   fastpath=fastpath, faults=faults)
 
     @classmethod
     def colocation(cls, config, assignments, plan, seed,
-                   chunk=DEFAULT_CHUNK, faults=None):
+                   chunk=None, faults=None, fastpath=None):
         """A heterogeneous point: ``assignments`` is a list of
         ``(spec, core_ids)`` pairs with disjoint core sets, exactly like
         :func:`repro.workloads.colocation.generate_colocation_traces`."""
@@ -124,9 +141,13 @@ class RunRequest:
                            for spec, ids in assignments)
         if faults is None:
             faults = current_plan()
+        if chunk is None:
+            chunk = default_chunk()
+        if fastpath is None:
+            fastpath = default_enabled()
         return cls(config=config, placements=placements, plan=plan,
                    seed=seed, colocated=True, track_sharing=False,
-                   chunk=chunk, faults=faults)
+                   chunk=chunk, fastpath=fastpath, faults=faults)
 
     def canonical(self):
         """JSON-native dict that fully determines the simulation."""
@@ -140,6 +161,7 @@ class RunRequest:
             "colocated": self.colocated,
             "track_sharing": self.track_sharing,
             "chunk": self.chunk,
+            "fastpath": self.fastpath,
             "faults": (None if self.faults is None
                        else self.faults.canonical()),
         }
@@ -503,6 +525,7 @@ def execute_request(request):
     core_params = [p if p is not None else idle for p in core_params]
     system = System(config, core_params)
     system.track_sharing = request.track_sharing
+    system.use_fastpath = request.fastpath
     if request.faults is not None and request.faults.active():
         # Inactive plans (all-zero rates, no events) attach nothing,
         # so they are bit-identical to fault-free requests.

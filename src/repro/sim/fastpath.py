@@ -1,0 +1,538 @@
+"""Batched L1-hit fast path: a shadow-filter event kernel.
+
+``_drive`` (repro.sim.driver) normally pays a full Python call into
+``System.access`` for every reference -- including the ~90%+ that are
+trivial L1 hits in a warm cache.  This module collapses those runs of
+guaranteed-trivial events into a tight loop with no calls, no flag
+decoding and no per-event counter bumps, while staying *bit-identical*
+to the reference loop.
+
+Safe-set invariant
+------------------
+Per core, a single ``safe_map`` dict holds every event key that is
+guaranteed to be a trivial L1 hit.  An event key fuses the block
+number with the event kind -- ``block << 2 | kind`` where kind 0 is a
+data read, 1 a data write and 2 an ifetch, exactly the trace's flag
+bits -- so the driver can pre-encode one key lane per trace and the
+kernel can classify a whole chunk with a single C-level
+``map(safe_map.get, keys)``:
+
+* ``block << 2`` (L1-D): block resident in any valid state.  A data
+  read is then a guaranteed hit whose only side effects are the LRU
+  recency touch and the L1 counter bump.
+* ``block << 2 | 1`` (L1-D): block resident in state MODIFIED.  Only
+  then is a data write side-effect-free (any other state runs the
+  write-upgrade machinery: peer invalidations, directory updates).
+* ``block << 2 | 2`` (L1-I): block resident; ifetches never write, so
+  residency alone makes them safe.
+
+The invariant is *soundness only*: a key missing from the map merely
+falls back to the slow path (which IS the reference path), but a stale
+entry would corrupt results.  Every L1 mutation therefore notifies the
+view -- ``SetAssocCache.insert/insert_cold/update/invalidate/clear``
+carry the hooks, and ``System`` only ever mutates L1 contents through
+those methods (verified by ``tests/test_fastpath.py`` and, at runtime,
+by ``REPRO_FASTPATH=verify``).
+
+Mapping each key to the *set dict itself* (not a boolean) fuses the
+membership test with the recency update: after a streak is accepted
+the kernel replays the exact ``del entries[block]; entries[block] =
+state`` reorder that ``SetAssocCache.lookup`` performs, so later
+eviction victims are unchanged.  Because retired events cannot insert
+or evict, only the *last* touch of each distinct key matters, and the
+replay deduplicates a streak down to one move per distinct key (a
+reversed ``dict.fromkeys``, again C-level).  Timing stays exact
+because the clock advances through the *same sequence* of ``t +=
+cpi_ev`` float additions as the reference loop, drained through a
+C-level ``itertools.accumulate`` -- float addition is not
+associative, so a bulk ``t += k * cpi_ev`` would *not* be
+bit-identical.
+
+Disqualification and bail-out
+-----------------------------
+Prefetchers, fault injection, event tracing and sharing classification
+all hang per-event side effects off the L1-hit path, so any of them
+disables the kernel for the whole system (``kernel_for`` returns None)
+and those configurations run the reference loop byte-for-byte.
+Miss-bound workloads (the paper's LLC-stressing scale-out suite
+included) additionally make the kernel *bail out* at runtime: short
+safe streaks cannot amortize the batch scan, so after a probation
+window the filter detaches itself and the run continues on the
+reference loop (see :class:`ShadowFilter`).  Bailing, like every
+other kernel decision, changes throughput only -- never results.
+
+Configuration
+-------------
+``$REPRO_FASTPATH`` = ``on`` (default) / ``off`` / ``verify`` (run the
+kernel but cross-check the shadow maps against the real L1s after
+every slow-path event).  :func:`use_fastpath` installs an ambient
+override (the CLI's ``--no-fastpath``); the run engine records the
+resolved value in ``RunRequest.fastpath`` so provenance keys capture
+it -- the *results* are identical either way, only throughput differs.
+"""
+
+import os
+from collections import deque
+from contextlib import contextmanager
+from itertools import accumulate, repeat
+
+from repro.coherence.states import MODIFIED
+from repro.cores.perf_model import LEVEL_L1
+from repro.obs.stats import Group
+
+#: Recognized $REPRO_FASTPATH spellings.
+_ON = frozenset(("", "1", "on", "true", "yes"))
+_OFF = frozenset(("0", "off", "false", "no"))
+
+
+def mode_from_env():
+    """The fast-path mode from ``$REPRO_FASTPATH``: 'on', 'off' or
+    'verify' (unset means 'on')."""
+    raw = os.environ.get("REPRO_FASTPATH", "").strip().lower()
+    if raw in _ON:
+        return "on"
+    if raw in _OFF:
+        return "off"
+    if raw == "verify":
+        return "verify"
+    raise ValueError("REPRO_FASTPATH must be on/off/verify, got %r"
+                     % raw)
+
+
+_override = None
+
+
+def default_enabled():
+    """Ambient fast-path default for new Systems/RunRequests: the
+    :func:`use_fastpath` override when one is installed, else
+    ``$REPRO_FASTPATH`` (on unless explicitly 'off')."""
+    if _override is not None:
+        return _override
+    return mode_from_env() != "off"
+
+
+@contextmanager
+def use_fastpath(enabled):
+    """Install an ambient fast-path on/off override for the block (the
+    CLI wraps experiments in this for ``--no-fastpath``)."""
+    global _override
+    prev = _override
+    _override = bool(enabled)
+    try:
+        yield
+    finally:
+        _override = prev
+
+
+class ShadowDivergence(AssertionError):
+    """The shadow filter disagrees with the real L1 contents
+    (REPRO_FASTPATH=verify): a mutation path failed to notify."""
+
+
+class ShadowView:
+    """Shadow of one L1 feeding the core's shared ``safe_map`` (event
+    key -> the set dict holding the block; see the module docstring
+    for the key encoding).  The L1-D view owns the read (kind 0) and
+    write (kind 1) keys, the L1-I view the ifetch (kind 2) keys.  Fed
+    by the owning :class:`~repro.caches.sram_cache.SetAssocCache`'s
+    notification hooks."""
+
+    __slots__ = ("safe_map", "ifetch")
+
+    def __init__(self, cache, safe_map, ifetch):
+        self.safe_map = safe_map
+        self.ifetch = ifetch
+        # Adopt whatever is already resident (the filter may be built
+        # against a warm system, e.g. between warmup and measure).
+        for entries in cache._sets:
+            for block, state in entries.items():
+                self.note(block, state, entries)
+
+    def note(self, block, state, entries):
+        """The cache inserted ``block`` into ``entries`` (or changed
+        its state)."""
+        key = block << 2
+        m = self.safe_map
+        if self.ifetch:
+            m[key | 2] = entries
+            return
+        m[key] = entries
+        if state == MODIFIED:
+            m[key | 1] = entries
+        else:
+            m.pop(key | 1, None)
+
+    def drop(self, block):
+        """The cache evicted or invalidated ``block``."""
+        key = block << 2
+        m = self.safe_map
+        if self.ifetch:
+            m.pop(key | 2, None)
+        else:
+            m.pop(key, None)
+            m.pop(key | 1, None)
+
+    def wipe(self):
+        """The cache was cleared wholesale.  Only this view's kinds
+        die -- the safe_map is shared with the core's other L1."""
+        m = self.safe_map
+        if self.ifetch:
+            dead = [k for k in m if k & 3 == 2]
+        else:
+            dead = [k for k in m if k & 3 != 2]
+        for k in dead:
+            del m[k]
+
+
+#: Events driven before the kernel decides whether to keep running.
+PROBATION_EVENTS = 128_000
+#: Minimum retired fraction for the kernel to stay enabled: below
+#: this, safe streaks are too short for batching to beat its own
+#: bookkeeping (short-streak scans plus shadow-hook costs on the miss
+#: path), so the kernel bails out for the rest of the run.
+RETIRE_MIN = 0.95
+#: A clearly miss-bound workload is recognized sooner, before the
+#: full probation window has paid its overhead.  The early threshold
+#: is deliberately loose: a hit-dominated workload still filling cold
+#: caches retires well above it, while LLC-stressing suites sit far
+#: below.
+EARLY_PROBATION_EVENTS = 32_000
+EARLY_RETIRE_MIN = 0.75
+
+
+class ShadowFilter:
+    """Per-system shadow of every core's L1-D/L1-I plus the batch
+    kernel that retires safe hit streaks against it.
+
+    The filter self-monitors: after :data:`PROBATION_EVENTS` driven
+    events it compares the retired fraction against
+    :data:`RETIRE_MIN` and, in miss-heavy regimes where batching
+    cannot pay for itself, *bails out* -- detaches every shadow hook
+    and tells the driver to run the reference loop for the rest of
+    the run.  Bailing is pure throughput policy: the kernel is
+    semantically transparent, so results are bit-identical whether it
+    retires everything, nothing, or bails halfway through.
+    """
+
+    def __init__(self, system):
+        self.num_cores = system.num_cores
+        self.verify_mode = False
+        #: Kernel disabled itself (miss-heavy workload); permanent
+        #: for this system.
+        self.bailed = False
+        self._decided = False
+        #: Events retired in bulk by the kernel.
+        self.retired_events = 0
+        #: Safe streaks retired (>= 1 event each).
+        self.streaks = 0
+        #: Events driven through ``_drive`` while the kernel was active
+        #: (retired + slow-path).
+        self.total_events = 0
+        self._l1d = system.l1d
+        self._l1i = system.l1i
+        self._lanes = []
+        #: Per-core adaptive scan window: grows into the C-level batch
+        #: scan on long hit streaks, shrinks to the per-event loop in
+        #: miss-heavy regimes where wide scans would be wasted work.
+        self._win = []
+        for c in range(system.num_cores):
+            safe_map = {}
+            dview = ShadowView(system.l1d[c], safe_map, False)
+            iview = ShadowView(system.l1i[c], safe_map, True)
+            system.l1d[c].shadow = dview
+            system.l1i[c].shadow = iview
+            core = system.cores[c]
+            self._lanes.append((
+                safe_map,
+                system.l1d[c]._reorder, system.l1i[c]._reorder,
+                core.data_count, core.ifetch_count))
+            self._win.append(16)
+        self.stats = self._build_stats()
+
+    def _build_stats(self):
+        """Standalone hit-streak stats group.  Deliberately NOT part of
+        ``system.stats``: the differential pin suite asserts fastpath
+        and reference stats snapshots are identical, and kernel
+        activity is simulator observability, not simulated state."""
+        g = Group("fastpath", "shadow-filter batch kernel activity")
+        g.bind(self, "retired_events",
+               desc="events retired in bulk by the kernel")
+        g.bind(self, "streaks", desc="safe hit streaks retired")
+        g.bind(self, "total_events",
+               desc="events driven while the kernel was active")
+        g.formula("slow_events", self.slow_events,
+                  desc="events that took the reference path")
+        g.formula("mean_streak", self.mean_streak,
+                  desc="mean retired streak length (events)")
+        return g
+
+    def slow_events(self):
+        return self.total_events - self.retired_events
+
+    def mean_streak(self):
+        if self.streaks == 0:
+            return 0.0
+        return self.retired_events / self.streaks
+
+    def summary(self):
+        """Manifest-ready activity record."""
+        return {
+            "retired_events": self.retired_events,
+            "slow_events": self.slow_events(),
+            "total_events": self.total_events,
+            "streaks": self.streaks,
+            "mean_streak": self.mean_streak(),
+            "bailed": self.bailed,
+        }
+
+    # silolint: hotpath
+    def retire_chunk(self, core, blocks, writes, ifetches, lat_mul,
+                     cpi_ev, keys, if_prefix, pos, hi, t, access,
+                     measuring):
+        """Drive ``blocks[pos:hi]`` for ``core`` to completion: safe
+        hit streaks are retired in bulk against the shadow filter, and
+        every other event goes through ``access`` exactly as the
+        reference loop would.  Returns the core's advanced clock.
+
+        Two retirement regimes, picked by a per-core adaptive window:
+
+        * Wide (window >= 64): classify a whole window with one
+          C-level ``map(safe_map.get, keys[pos:end])``, find the safe
+          prefix with ``list.index``, then replay only the *last*
+          recency touch of each distinct key (reversed ``dict(zip)``
+          dedup -- retired events cannot insert or evict, so
+          intermediate touches of a block are superseded by its last).
+        * Narrow (window < 64): a per-event loop with inline reorder,
+          which wastes nothing when misses are frequent and streaks
+          are short.
+
+        The window tracks twice the last streak length, so each core
+        settles into whichever regime its miss rate warrants.  Per
+        retired event the clock advances ``t += cpi_ev`` exactly as
+        the reference loop does (float addition is order-sensitive);
+        L1 counters are bumped per streak from the ifetch prefix-sum
+        lane (integer adds commute).
+        """
+        (safe_map, d_reorder, i_reorder,
+         data_count, ifetch_count) = self._lanes[core]
+        get = safe_map.get
+        win = self._win[core]
+        check = self.check if self.verify_mode else None
+        self.total_events += hi - pos
+        retired = 0
+        run = 0
+        streaks = 0
+        while pos < hi:
+            if win >= 64:
+                end = pos + win
+                if end > hi:
+                    end = hi
+                kslice = keys[pos:end]
+                # One allocation per scan window, not per event: the
+                # C-level batch classify is the whole point.
+                ent = list(map(get, kslice))  # silolint: disable=SL007
+                try:
+                    k = ent.index(None)
+                    full = False
+                except ValueError:
+                    k = end - pos
+                    full = True
+                if k:
+                    if d_reorder and i_reorder:
+                        # Both L1s reorder on hit (LRU, the common
+                        # case): no kind checks needed.  Read and
+                        # write keys of one block both move the same
+                        # block in the same dict, and replaying that
+                        # superset of moves in ascending last-touch
+                        # order still lands every block at its true
+                        # final recency position.  ``fromkeys`` over
+                        # the reversed streak keeps the *first*
+                        # occurrence of each key -- its last touch --
+                        # so iterating it reversed replays distinct
+                        # keys in ascending last-touch order.
+                        replay = dict.fromkeys(
+                            reversed(kslice if full else kslice[:k]))
+                        for key in reversed(replay):
+                            entries = get(key)
+                            b = key >> 2
+                            st = entries.pop(b)
+                            entries[b] = st
+                    elif d_reorder or i_reorder:
+                        # Mixed replacement policies: keep the set
+                        # dicts alongside the keys so the kind checks
+                        # can skip non-reordering views.  One
+                        # allocation per retired streak.
+                        replay = dict(  # silolint: disable=SL007
+                            zip(kslice[k - 1::-1], ent[k - 1::-1]))
+                        for key, entries in reversed(replay.items()):
+                            kind = key & 3
+                            if kind == 2:
+                                if not i_reorder:
+                                    continue
+                            elif not d_reorder:
+                                continue
+                            b = key >> 2
+                            st = entries.pop(b)
+                            entries[b] = st
+                    stop = pos + k
+                    if measuring:
+                        k_if = (if_prefix[stop] - if_prefix[pos]) >> 1
+                        data_count[LEVEL_L1] += k - k_if
+                        ifetch_count[LEVEL_L1] += k_if
+                    # C-level drain of k sequential ``t += cpi_ev``
+                    # adds -- the identical FP operation sequence, so
+                    # still bit-exact (a bulk ``k * cpi_ev`` would not
+                    # be).
+                    t = deque(accumulate(repeat(cpi_ev, k), initial=t),
+                              maxlen=1)[0]
+                    retired += k
+                    run += k
+                    pos = stop
+                win = k + k
+                if win < 8:
+                    win = 8
+                elif win > 1024:
+                    win = 1024
+                if full:
+                    continue
+            else:
+                start = pos
+                while pos < hi:
+                    key = keys[pos]
+                    entries = get(key)
+                    if entries is None:
+                        break
+                    kind = key & 3
+                    if kind == 2:
+                        if i_reorder:
+                            b = key >> 2
+                            st = entries.pop(b)
+                            entries[b] = st
+                    elif d_reorder:
+                        b = key >> 2
+                        st = entries.pop(b)
+                        entries[b] = st
+                    pos += 1
+                k = pos - start
+                if k:
+                    if measuring:
+                        k_if = (if_prefix[pos] - if_prefix[start]) >> 1
+                        data_count[LEVEL_L1] += k - k_if
+                        ifetch_count[LEVEL_L1] += k_if
+                    # t is never read during a streak, so the k
+                    # deferred ``t += cpi_ev`` adds drain through the
+                    # same C-level accumulate as the wide regime.
+                    t = deque(accumulate(repeat(cpi_ev, k), initial=t),
+                              maxlen=1)[0]
+                    retired += k
+                    run += k
+                win = 8 if k < 4 else k + k
+            if pos >= hi:
+                break
+            # the event at ``pos`` is not guaranteed safe: reference path
+            if run:
+                streaks += 1
+                run = 0
+            lat = access(core, blocks[pos], writes[pos], ifetches[pos],
+                         t)
+            t += cpi_ev
+            if lat:
+                t += lat * lat_mul[pos]
+            pos += 1
+            if check is not None:
+                check(core)
+        if run:
+            streaks += 1
+        self.retired_events += retired
+        self.streaks += streaks
+        self._win[core] = win
+        if not self._decided:
+            total = self.total_events
+            if total >= PROBATION_EVENTS:
+                self._decided = True
+                if self.retired_events < RETIRE_MIN * total:
+                    self.bail()
+            elif (total >= EARLY_PROBATION_EVENTS
+                    and self.retired_events < EARLY_RETIRE_MIN * total):
+                self._decided = True
+                self.bail()
+        return t
+
+    def bail(self):
+        """Permanently disable the kernel for this system: detach
+        every shadow hook (the miss path goes back to reference-loop
+        cost) and flag the driver to stop calling
+        :meth:`retire_chunk`.  Purely a throughput decision -- results
+        are unchanged."""
+        self.bailed = True
+        for caches in (self._l1d, self._l1i):
+            for cache in caches:
+                cache.shadow = None
+        for lane in self._lanes:
+            lane[0].clear()
+
+    # -- verify mode ---------------------------------------------------
+
+    def check(self, core):
+        """Cross-check ``core``'s safe_map against its real L1s
+        (REPRO_FASTPATH=verify); raises :class:`ShadowDivergence` on
+        any mismatch -- a missing notification somewhere."""
+        expect = {}
+        for entries in self._l1d[core]._sets:
+            for block, state in entries.items():
+                expect[block << 2] = entries
+                if state == MODIFIED:
+                    expect[(block << 2) | 1] = entries
+        for entries in self._l1i[core]._sets:
+            for block, state in entries.items():
+                if state == MODIFIED:
+                    # L1-I lines are never written; an M line means a
+                    # mutation path we do not model as read-only.
+                    raise ShadowDivergence(
+                        "core %d l1i: block %d is MODIFIED"
+                        % (core, block))
+                expect[(block << 2) | 2] = entries
+        got = self._lanes[core][0]
+        if got.keys() != expect.keys():
+            missing = sorted(expect.keys() - got.keys())[:8]
+            stale = sorted(got.keys() - expect.keys())[:8]
+            raise ShadowDivergence(
+                "core %d: shadow filter diverged from the L1s "
+                "(missing=%s stale=%s)"
+                % (core, [self._decode(k) for k in missing],
+                   [self._decode(k) for k in stale]))
+        for key, entries in got.items():
+            if entries is not expect[key]:
+                raise ShadowDivergence(
+                    "core %d: %s maps to the wrong set dict"
+                    % (core, self._decode(key)))
+
+    @staticmethod
+    def _decode(key):
+        """Human-readable form of an event key (for diagnostics)."""
+        return "%s:%d" % (("read", "write", "ifetch", "?")[key & 3],
+                          key >> 2)
+
+
+def kernel_for(system):
+    """The system's shadow-filter kernel, or None when the fast path
+    must not run: explicitly disabled (``system.use_fastpath``), or a
+    feature with per-event side effects on the L1-hit path is active
+    (prefetchers, fault injection, tracing, sharing classification).
+    Builds and caches the filter on the system on first eligible use.
+    """
+    if not system.use_fastpath:
+        return None
+    if (system.prefetchers is not None
+            or system.faults is not None
+            or system.tracer is not None
+            or system.track_sharing):
+        return None
+    filt = system.shadow_filter
+    if filt is None:
+        filt = ShadowFilter(system)
+        system.shadow_filter = filt
+    elif filt.bailed:
+        return None
+    filt.verify_mode = mode_from_env() == "verify"
+    return filt

@@ -34,6 +34,7 @@ from repro.noc.mesh import Mesh2D
 from repro.obs.stats import Group
 from repro.obs.trace import (EV_COHERENCE, EV_DIRECTORY, EV_FAULT,
                              EV_INVALIDATE, EV_DOWNGRADE, EV_EVICTION)
+from repro.sim import fastpath as _fastpath
 from repro.sim.config import LLC_SHARED, LLC_PRIVATE_VAULT
 
 
@@ -141,6 +142,13 @@ class System:
         # the tracer, the disabled cost is one `is not None` check per
         # instrumented site, so fault-off runs stay bit-identical.
         self.faults = None
+        # Shadow-filter L1-hit fast path (repro.sim.fastpath): on by
+        # default (ambient $REPRO_FASTPATH / use_fastpath override);
+        # the run engine overwrites this from RunRequest.fastpath.
+        # The filter itself is built lazily by the first eligible
+        # _drive -- configs it would disqualify never pay for it.
+        self.use_fastpath = _fastpath.default_enabled()
+        self.shadow_filter = None
 
         # System-level counters
         self.llc_accesses = 0          # SRAM bank / DRAM vault accesses
@@ -287,12 +295,15 @@ class System:
     # public entry point
     # ------------------------------------------------------------------
 
+    # silolint: hotpath
     def access(self, core, block, is_write, is_ifetch, now=0.0):
         """Process one reference; returns exposed latency in cycles
         beyond the L1 (an L1 hit returns 0)."""
         self.now = now
         if self.faults is not None:
-            self.faults.tick(self)
+            # per-event only when fault injection is on (SL007: the
+            # chain is behind the is-not-None guard, faults are rare)
+            self.faults.tick(self)  # silolint: disable=SL007
         if is_ifetch:
             l1 = self.l1i[core]
             if l1.lookup(block) is not None:

@@ -27,6 +27,15 @@ silolint encodes those contracts as ``ast``-level rules:
 * **SL005** -- ``==``/``!=`` against a float literal in the same
   timing-affecting packages: clock arithmetic accumulates rounding, so
   float equality is either dead or flaky.
+* **SL007** -- per-event work in a hot-path function: a function
+  marked with a ``# silolint: hotpath`` comment (the driver's event
+  loop, the fast-path kernel, ``System.access``) must not allocate
+  containers (displays, comprehensions, ``list()``-family
+  constructors) or re-traverse multi-step attribute chains
+  (``self.a.b``) inside its loops -- those costs multiply by hundreds
+  of millions of events.  Hoist them to locals before the loop, or
+  carry a justification with a ``disable`` comment (e.g. a bounded
+  per-streak allocation, or a rarely-taken guarded branch).
 * **SL006** -- module-level mutable state in the process-fan-out scope
   (``sim``, ``caches``): an empty container display (``{}``/``[]``) or
   a mutable-constructor call (``set()``, ``dict()``, ``list()``,
@@ -61,6 +70,8 @@ RULES = {
     "SL004": "iteration over an unordered set in timing-affecting code",
     "SL005": "float equality comparison in timing-affecting code",
     "SL006": "module-level mutable state that breaks process fan-out",
+    "SL007": "per-event allocation or attribute chain in a "
+             "hotpath-marked function",
 }
 
 #: Packages whose code paths decide timing (SL004/SL005 scope).
@@ -81,6 +92,12 @@ Violation = namedtuple("Violation", "file line col rule message")
 
 _SUPPRESS_RE = re.compile(
     r"#\s*silolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+_HOTPATH_RE = re.compile(r"#\s*silolint:\s*hotpath\b")
+
+#: Constructor calls that allocate a fresh container per call (SL007).
+_ALLOC_CONSTRUCTORS = frozenset(("list", "dict", "tuple", "set",
+                                 "frozenset"))
 
 _RANDOM_MODULE_FNS = frozenset((
     "random", "randrange", "randint", "choice", "choices", "shuffle",
@@ -164,8 +181,9 @@ class _ModuleFacts:
 class _FileLinter(ast.NodeVisitor):
     """Collects violations for one parsed source file."""
 
-    def __init__(self, path, tree, path_parts):
+    def __init__(self, path, tree, path_parts, lines=()):
         self.path = path
+        self.lines = lines
         self.facts = _ModuleFacts(tree, path_parts)
         self.in_timing = bool(TIMING_DIRS & path_parts)
         self.in_params_scope = (bool(PARAMS_DIRS & path_parts)
@@ -317,9 +335,89 @@ class _FileLinter(ast.NodeVisitor):
     def visit_FunctionDef(self, node):
         if self.in_params_scope:
             self._check_defaults(node)
+        if self._is_hotpath(node):
+            self._check_hotpath(node)
         self.generic_visit(node)
 
     visit_AsyncFunctionDef = visit_FunctionDef
+
+    # -- SL007 ---------------------------------------------------------
+
+    def _is_hotpath(self, node):
+        """Is the function marked ``# silolint: hotpath``?  The marker
+        is a comment on the ``def`` line itself or the line directly
+        above it (above any decorators)."""
+        first = min([node.lineno]
+                    + [d.lineno for d in node.decorator_list])
+        for lineno in (node.lineno, first - 1):
+            if 0 < lineno <= len(self.lines):
+                if _HOTPATH_RE.search(self.lines[lineno - 1]):
+                    return True
+        return False
+
+    def _check_hotpath(self, func):
+        """SL007: no per-event allocations or attribute chains in a
+        hot-path function.  When the function contains loops, only
+        loop bodies are per-event; a loop-free hot function (a helper
+        called once per event) is per-event in its entirety."""
+        loops = [n for n in ast.walk(func)
+                 if isinstance(n, (ast.For, ast.While))]
+        if loops:
+            roots = []
+            for loop in loops:
+                roots.extend(loop.body)
+                roots.extend(loop.orelse)
+        else:
+            roots = func.body
+        seen = set()
+        nodes = []
+        for root in roots:
+            for n in ast.walk(root):
+                if id(n) not in seen:
+                    seen.add(id(n))
+                    nodes.append(n)
+        # A chain like ``a.b.c`` nests an Attribute inside an
+        # Attribute; flag only the outermost node of each chain.
+        inner = set()
+        for n in nodes:
+            if (isinstance(n, ast.Attribute)
+                    and isinstance(n.value, ast.Attribute)):
+                inner.add(id(n.value))
+        for n in nodes:
+            if isinstance(n, (ast.ListComp, ast.SetComp, ast.DictComp,
+                              ast.GeneratorExp)):
+                self._flag(n, "SL007",
+                           "comprehension allocated per event in a "
+                           "hot path (hoist or unroll it)")
+            elif isinstance(n, (ast.List, ast.Set, ast.Dict)) and (
+                    not isinstance(n, ast.List)
+                    or isinstance(n.ctx, ast.Load)):
+                self._flag(n, "SL007",
+                           "container display allocated per event in "
+                           "a hot path (hoist it out of the loop)")
+            elif (isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Name)
+                    and n.func.id in _ALLOC_CONSTRUCTORS):
+                self._flag(n, "SL007",
+                           "%s() allocated per event in a hot path "
+                           "(hoist it out of the loop)" % n.func.id)
+            elif (isinstance(n, ast.Attribute)
+                    and isinstance(n.value, ast.Attribute)
+                    and id(n) not in inner):
+                self._flag(n, "SL007",
+                           "attribute chain %s re-traversed per event "
+                           "in a hot path (bind it to a local)"
+                           % self._chain_repr(n))
+
+    @staticmethod
+    def _chain_repr(node):
+        """Dotted form of an attribute chain, best effort."""
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        parts.append(node.id if isinstance(node, ast.Name) else "...")
+        return ".".join(reversed(parts))
 
     # -- SL004 ---------------------------------------------------------
 
@@ -415,11 +513,11 @@ def lint_file(path, report):
     report.files_scanned += 1
     parts = frozenset(os.path.normpath(os.path.abspath(path))
                       .split(os.sep)[:-1])
-    linter = _FileLinter(path, tree, parts)
+    lines = source.splitlines()
+    linter = _FileLinter(path, tree, parts, lines)
     linter.visit(tree)
     if not linter.violations:
         return
-    lines = source.splitlines()
     for v in linter.violations:
         text = lines[v.line - 1] if 0 < v.line <= len(lines) else ""
         disabled = _suppressions(text)

@@ -1,0 +1,349 @@
+"""Differential pin suite for the shadow-filter batch kernel
+(repro.sim.fastpath).
+
+The kernel's contract is absolute: running with the fast path on, off,
+bailed-out halfway, or in verify mode must produce *bit-identical*
+results -- performance, per-level counts, the full stats snapshot and
+the latency distributions.  Anything with per-event side effects on
+the L1-hit path (prefetchers, fault injection, tracing, sharing
+classification) must bypass the kernel entirely and still match.
+"""
+
+import pytest
+
+from repro.core.systems import system_config
+from repro.cores.perf_model import CoreParams
+from repro.faults import FaultPlan
+from repro.obs import session as obs_session
+from repro.sim import fastpath as fp
+from repro.sim.driver import DEFAULT_CHUNK, _per_core_state, \
+    default_chunk, simulate, use_chunk
+from repro.sim.engine import RunRequest, execute_request
+from repro.sim.sampling import SamplingPlan
+from repro.sim.system import System
+from repro.workloads.base import CodeSpec, RegionSpec, WorkloadSpec
+from repro.workloads.generator import generate_traces
+from repro.workloads.scaleout import SCALEOUT_WORKLOADS
+
+SCALE = 64
+PLAN = SamplingPlan(4_000, 2_000)
+
+#: An L1-resident instruction + heap footprint: nearly every event is
+#: a safe streak member, so the kernel actually retires work in these
+#: tests (LLC-stressing suites make it bail instead).
+HOT_SPEC = WorkloadSpec(
+    name="fastpath_hot",
+    code=CodeSpec(size_mb=0.125, alpha=1.2),
+    regions=(
+        RegionSpec("heap", 0.125, "zipf", "private", 1.0,
+                   alpha=1.35, write_fraction=0.3),
+    ),
+    core=CoreParams(),
+)
+
+
+def _run(config_name, *, fastpath, spec=HOT_SPEC, plan=PLAN,
+         num_cores=4, track_sharing=False, chunk=None, faults=None,
+         **overrides):
+    config = system_config(config_name, num_cores=num_cores,
+                           scale=SCALE, **overrides)
+    return simulate(config, spec, plan, seed=7,
+                    track_sharing=track_sharing, chunk=chunk,
+                    faults=faults, fastpath=fastpath)
+
+
+def _pin(fast, slow):
+    """All observable results of two runs are bit-identical."""
+    assert fast.performance() == slow.performance()
+    assert fast.level_counts() == slow.level_counts()
+    assert fast.stats_snapshot() == slow.stats_snapshot()
+    assert fast.latency_percentiles() == slow.latency_percentiles()
+
+
+# ---------------------------------------------------------------------------
+# the pin: fastpath == reference, bit for bit
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("config_name",
+                         ["baseline", "silo", "3level_silo"])
+def test_fastpath_is_bit_identical(config_name):
+    fast = _run(config_name, fastpath=True)
+    slow = _run(config_name, fastpath=False)
+    _pin(fast, slow)
+    filt = fast.system.shadow_filter
+    assert filt is not None and filt.retired_events > 0
+    assert slow.system.shadow_filter is None
+
+
+@pytest.mark.parametrize("config_name", ["baseline", "silo"])
+def test_fastpath_identical_on_llc_stressing_workload(config_name):
+    spec = SCALEOUT_WORKLOADS["web_frontend"]
+    fast = _run(config_name, fastpath=True, spec=spec)
+    slow = _run(config_name, fastpath=False, spec=spec)
+    _pin(fast, slow)
+
+
+def test_bailout_is_bit_identical():
+    # web_search at this scale is miss-bound: the kernel must notice
+    # during probation, detach its hooks, and change nothing.
+    spec = SCALEOUT_WORKLOADS["web_search"]
+    plan = SamplingPlan(6_000, 3_000)
+    fast = _run("silo", fastpath=True, spec=spec, plan=plan)
+    slow = _run("silo", fastpath=False, spec=spec, plan=plan)
+    _pin(fast, slow)
+    filt = fast.system.shadow_filter
+    assert filt is not None and filt.bailed
+    assert filt.summary()["bailed"] is True
+    # bail() detached every shadow hook
+    assert all(c.shadow is None for c in fast.system.l1d)
+    assert all(c.shadow is None for c in fast.system.l1i)
+
+
+def test_hot_workload_survives_probation():
+    plan = SamplingPlan(8_000, 4_000)  # 48k events > both probations
+    fast = _run("silo", fastpath=True, plan=plan)
+    filt = fast.system.shadow_filter
+    assert not filt.bailed
+    assert filt.retired_events > 0.95 * filt.total_events
+
+
+# ---------------------------------------------------------------------------
+# disqualification: per-event side-effect features bypass the kernel
+# ---------------------------------------------------------------------------
+
+
+def test_prefetchers_disable_the_kernel():
+    fast = _run("baseline", fastpath=True, l1_prefetcher=True)
+    slow = _run("baseline", fastpath=False, l1_prefetcher=True)
+    assert fast.system.prefetchers is not None
+    assert fast.system.shadow_filter is None
+    _pin(fast, slow)
+
+
+def test_sharing_classification_disables_the_kernel():
+    fast = _run("silo", fastpath=True, track_sharing=True)
+    slow = _run("silo", fastpath=False, track_sharing=True)
+    assert fast.system.shadow_filter is None
+    _pin(fast, slow)
+
+
+def test_active_faults_disable_the_kernel():
+    plan = FaultPlan(seed=3, tag_flip_rate=1e-3)
+    fast = _run("silo", fastpath=True, faults=plan)
+    slow = _run("silo", fastpath=False, faults=plan)
+    assert fast.system.faults is not None
+    assert fast.system.shadow_filter is None
+    _pin(fast, slow)
+
+
+def test_inactive_faults_keep_the_kernel():
+    fast = _run("silo", fastpath=True, faults=FaultPlan())
+    assert fast.system.faults is None
+    assert fast.system.shadow_filter is not None
+
+
+def test_tracer_disables_the_kernel():
+    with obs_session.observe(trace_capacity=64):
+        fast = _run("silo", fastpath=True)
+    with obs_session.observe(trace_capacity=64):
+        slow = _run("silo", fastpath=False)
+    assert fast.system.tracer is not None
+    assert fast.system.shadow_filter is None
+    _pin(fast, slow)
+
+
+# ---------------------------------------------------------------------------
+# verify mode: the shadow filter is cross-checked against the L1s
+# ---------------------------------------------------------------------------
+
+
+def test_verify_mode_passes_on_clean_run(monkeypatch):
+    monkeypatch.setenv("REPRO_FASTPATH", "verify")
+    fast = _run("silo", fastpath=True)
+    filt = fast.system.shadow_filter
+    assert filt.verify_mode
+    assert filt.retired_events > 0
+    slow = _run("silo", fastpath=False)
+    _pin(fast, slow)
+
+
+def test_verify_mode_catches_poisoned_filter():
+    fast = _run("silo", fastpath=True)
+    filt = fast.system.shadow_filter
+    safe_map = filt._lanes[0][0]
+    # a key no block can produce: pretend something stale survived
+    safe_map[(1 << 40) << 2] = {}
+    with pytest.raises(fp.ShadowDivergence):
+        filt.check(0)
+
+
+def test_verify_mode_catches_missing_key():
+    fast = _run("silo", fastpath=True)
+    filt = fast.system.shadow_filter
+    safe_map = filt._lanes[0][0]
+    present = [k for k in safe_map if k & 3 == 0]
+    del safe_map[present[0]]
+    with pytest.raises(fp.ShadowDivergence):
+        filt.check(0)
+
+
+def test_clear_wipes_only_that_views_kinds():
+    fast = _run("silo", fastpath=True)
+    system = fast.system
+    safe_map = system.shadow_filter._lanes[0][0]
+    assert any(k & 3 == 2 for k in safe_map)  # ifetch keys present
+    system.l1d[0].clear()
+    assert not any(k & 3 != 2 for k in safe_map)
+    assert any(k & 3 == 2 for k in safe_map)
+    system.l1i[0].clear()
+    assert not safe_map
+
+
+# ---------------------------------------------------------------------------
+# configuration plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_env_modes(monkeypatch):
+    monkeypatch.delenv("REPRO_FASTPATH", raising=False)
+    assert fp.mode_from_env() == "on"
+    monkeypatch.setenv("REPRO_FASTPATH", "off")
+    assert fp.mode_from_env() == "off"
+    assert not fp.default_enabled()
+    monkeypatch.setenv("REPRO_FASTPATH", "verify")
+    assert fp.mode_from_env() == "verify"
+    assert fp.default_enabled()
+    monkeypatch.setenv("REPRO_FASTPATH", "sideways")
+    with pytest.raises(ValueError):
+        fp.mode_from_env()
+
+
+def test_use_fastpath_override(monkeypatch):
+    monkeypatch.delenv("REPRO_FASTPATH", raising=False)
+    assert fp.default_enabled()
+    with fp.use_fastpath(False):
+        assert not fp.default_enabled()
+        with fp.use_fastpath(True):
+            assert fp.default_enabled()
+        assert not fp.default_enabled()
+    assert fp.default_enabled()
+
+
+def test_use_chunk_override(monkeypatch):
+    monkeypatch.delenv("REPRO_CHUNK", raising=False)
+    assert default_chunk() == DEFAULT_CHUNK
+    with use_chunk(64):
+        assert default_chunk() == 64
+    assert default_chunk() == DEFAULT_CHUNK
+    monkeypatch.setenv("REPRO_CHUNK", "321")
+    assert default_chunk() == 321
+    monkeypatch.setenv("REPRO_CHUNK", "0")
+    with pytest.raises(ValueError):
+        default_chunk()
+
+
+def test_manifest_records_kernel_activity():
+    fast = _run("silo", fastpath=True)
+    data = fast.manifest(seed=7)
+    assert data["fastpath"]["retired_events"] > 0
+    assert data["fastpath"]["bailed"] is False
+    slow = _run("silo", fastpath=False)
+    assert "fastpath" not in slow.manifest(seed=7)
+
+
+# ---------------------------------------------------------------------------
+# decoded-lanes memoization
+# ---------------------------------------------------------------------------
+
+
+def test_decoded_lanes_are_reused_across_systems():
+    config = system_config("silo", num_cores=4, scale=SCALE)
+    traces, layout = generate_traces(
+        HOT_SPEC, num_cores=4, events_per_core=PLAN.total_events,
+        scale=SCALE, seed=7)
+    sys_a = System(config, [HOT_SPEC.core] * 4)
+    sys_a.rw_shared_range = layout.rw_shared_range
+    lanes_a = _per_core_state(sys_a, traces)
+    sys_b = System(config, [HOT_SPEC.core] * 4)
+    sys_b.rw_shared_range = layout.rw_shared_range
+    lanes_b = _per_core_state(sys_b, traces)
+    for a, b in zip(lanes_a, lanes_b):
+        assert a[1] is b[1]   # blocks lane
+        assert a[6] is b[6]   # key lane
+        assert a[7] is b[7]   # ifetch prefix sums
+
+
+# ---------------------------------------------------------------------------
+# chunk metamorphics
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("chunk", [50, 200, 800])
+def test_fastpath_identical_at_every_chunk(chunk):
+    fast = _run("silo", fastpath=True, chunk=chunk)
+    slow = _run("silo", fastpath=False, chunk=chunk)
+    _pin(fast, slow)
+
+
+def test_single_core_results_are_chunk_invariant():
+    # With one core the interleave grain cannot change event order, so
+    # results must be exactly identical across chunk sizes -- with the
+    # kernel on or off.
+    runs = {}
+    for chunk in (50, 200, 800):
+        for fastpath in (True, False):
+            r = _run("silo", fastpath=fastpath, num_cores=1,
+                     chunk=chunk)
+            runs[(chunk, fastpath)] = (r.performance(),
+                                       r.stats_snapshot())
+    reference = runs[(50, True)]
+    assert all(v == reference for v in runs.values())
+
+
+def test_multi_core_chunk_drift_is_bounded():
+    # Chunk size changes multi-core interleaving, which legitimately
+    # perturbs contention; the measured metric must stay close.
+    perf = {}
+    for chunk in (50, 800):
+        perf[chunk] = _run("silo", fastpath=True,
+                           chunk=chunk).performance()
+    assert perf[800] == pytest.approx(perf[50], rel=0.10)
+
+
+# ---------------------------------------------------------------------------
+# run-engine integration
+# ---------------------------------------------------------------------------
+
+
+def test_run_request_records_fastpath():
+    config = system_config("silo", num_cores=4, scale=SCALE)
+    on = RunRequest.point(config, HOT_SPEC, PLAN, seed=7,
+                          fastpath=True)
+    off = RunRequest.point(config, HOT_SPEC, PLAN, seed=7,
+                           fastpath=False)
+    assert on.canonical()["fastpath"] is True
+    assert off.canonical()["fastpath"] is False
+    assert on.key("f") != off.key("f")
+
+
+def test_run_request_defaults_from_ambient():
+    config = system_config("silo", num_cores=4, scale=SCALE)
+    assert RunRequest.point(config, HOT_SPEC, PLAN, seed=7).fastpath
+    with fp.use_fastpath(False):
+        req = RunRequest.point(config, HOT_SPEC, PLAN, seed=7)
+    assert not req.fastpath
+    with use_chunk(77):
+        req = RunRequest.point(config, HOT_SPEC, PLAN, seed=7)
+    assert req.chunk == 77
+
+
+def test_execute_request_honors_fastpath():
+    config = system_config("silo", num_cores=4, scale=SCALE)
+    fast = execute_request(RunRequest.point(config, HOT_SPEC, PLAN,
+                                            seed=7, fastpath=True))
+    slow = execute_request(RunRequest.point(config, HOT_SPEC, PLAN,
+                                            seed=7, fastpath=False))
+    assert fast.system.shadow_filter is not None
+    assert slow.system.shadow_filter is None
+    _pin(fast, slow)

@@ -390,7 +390,96 @@ def test_cli_list_rules(capsys):
 
 def test_rule_catalogue_is_complete():
     assert sorted(RULES) == ["SL001", "SL002", "SL003", "SL004", "SL005",
-                             "SL006"]
+                             "SL006", "SL007"]
+
+
+# ---------------------------------------------------------------------------
+# SL007: per-event work in hotpath-marked functions
+# ---------------------------------------------------------------------------
+
+
+HOT_LOOP = (
+    "# silolint: hotpath\n"
+    "def drive(events, out):\n"
+    "    for ev in events:\n"
+    "%s"
+    "    return out\n")
+
+
+def test_sl007_flags_constructor_call_in_loop(tmp_path):
+    report = _lint_source(tmp_path, HOT_LOOP % (
+        "        out.append(list(ev))\n"))
+    assert _codes(report) == ["SL007"]
+
+
+def test_sl007_flags_container_display_in_loop(tmp_path):
+    report = _lint_source(tmp_path, HOT_LOOP % (
+        "        out.append({\"ev\": ev})\n"))
+    assert _codes(report) == ["SL007"]
+
+
+def test_sl007_flags_comprehension_in_loop(tmp_path):
+    report = _lint_source(tmp_path, HOT_LOOP % (
+        "        out.append([x + 1 for x in ev])\n"))
+    # the comprehension, not also its internal parts
+    assert _codes(report) == ["SL007"]
+
+
+def test_sl007_flags_attribute_chain_in_loop(tmp_path):
+    report = _lint_source(tmp_path, HOT_LOOP % (
+        "        out.total += ev.core.stats\n"))
+    assert _codes(report) == ["SL007"]
+    assert "ev.core.stats" in report.violations[0].message
+
+
+def test_sl007_chain_flagged_once_not_per_link(tmp_path):
+    report = _lint_source(tmp_path, HOT_LOOP % (
+        "        out.total += ev.a.b.c\n"))
+    assert _codes(report) == ["SL007"]
+
+
+def test_sl007_loop_free_hot_function_checks_whole_body(tmp_path):
+    report = _lint_source(tmp_path, (
+        "# silolint: hotpath\n"
+        "def classify(ev):\n"
+        "    return {\"kind\": ev}\n"))
+    assert _codes(report) == ["SL007"]
+
+
+def test_sl007_ignores_prelude_outside_the_loops(tmp_path):
+    report = _lint_source(tmp_path, (
+        "# silolint: hotpath\n"
+        "def drive(system, events):\n"
+        "    out = []\n"
+        "    access = system.cores.access\n"
+        "    for ev in events:\n"
+        "        out.append(access(ev))\n"
+        "    return out\n"))
+    assert report.ok, report.render()
+
+
+def test_sl007_quiet_without_hotpath_marker(tmp_path):
+    report = _lint_source(tmp_path, (
+        "def drive(events, out):\n"
+        "    for ev in events:\n"
+        "        out.append(list(ev))\n"
+        "    return out\n"))
+    assert report.ok, report.render()
+
+
+def test_sl007_marker_on_def_line(tmp_path):
+    report = _lint_source(tmp_path, (
+        "def drive(events, out):  # silolint: hotpath\n"
+        "    for ev in events:\n"
+        "        out.append(list(ev))\n"
+        "    return out\n"))
+    assert _codes(report) == ["SL007"]
+
+
+def test_sl007_suppression(tmp_path):
+    report = _lint_source(tmp_path, HOT_LOOP % (
+        "        out.append(list(ev))  # silolint: disable=SL007\n"))
+    assert report.ok, report.render()
 
 
 # ---------------------------------------------------------------------------
