@@ -8,8 +8,9 @@ to be re-sampled), prints the regenerated table, and writes it to
 Every benchmark also runs under a metered :class:`repro.sim.engine.
 RunEngine`; per-figure wall clock and engine throughput (driven
 events/sec, cache hits/misses) are collected and written to
-``benchmarks/results/BENCH_engine.json`` at the end of the session, so
-CI can archive one machine-readable performance record per run.
+``benchmarks/results/BENCH_engine.json`` -- and mirrored to the repo
+root -- at the end of the session, so CI can archive one
+machine-readable performance record per run.
 """
 
 import json
@@ -22,7 +23,19 @@ from repro.experiments.common import render_table
 from repro.sim import engine as sim_engine
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_ENGINE_PATH = os.path.join(RESULTS_DIR, "BENCH_engine.json")
+
+
+def write_bench_json(name, payload):
+    """Write a BENCH_*.json record to ``benchmarks/results/`` and to the
+    repo root (the root copy is the one CI diffs and READMEs link)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for directory in (RESULTS_DIR, REPO_ROOT):
+        path = os.path.join(directory, name)
+        with open(path, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
 
 #: node name -> {"wall_clock_s": ..., "engine": snapshot, ...extras}
 _ENGINE_RECORDS = {}
@@ -56,16 +69,20 @@ def bench_extra(request):
 def pytest_sessionfinish(session, exitstatus):
     if not _ENGINE_RECORDS:
         return
-    os.makedirs(RESULTS_DIR, exist_ok=True)
     payload = {
         "schema": "silo-repro-bench-engine/1",
         "host_cpu_count": os.cpu_count(),
         "jobs_env": os.environ.get("REPRO_JOBS") or None,
         "figures": _ENGINE_RECORDS,
     }
-    with open(BENCH_ENGINE_PATH, "w") as f:
-        json.dump(payload, f, indent=2, sort_keys=True)
-        f.write("\n")
+    write_bench_json("BENCH_engine.json", payload)
+
+
+@pytest.fixture
+def write_bench():
+    """Write a benchmark's own BENCH_*.json record to both locations
+    (``benchmarks/results/`` and the repo root)."""
+    return write_bench_json
 
 
 @pytest.fixture

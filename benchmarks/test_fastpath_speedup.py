@@ -21,10 +21,10 @@ results with the kernel on are bit-identical to the reference loop.
 
 Timings are medians over interleaved on/off repetitions (the host
 jitters by +-10-20%; back-to-back pairs see the same machine state).
-Everything is written to ``benchmarks/results/BENCH_fastpath.json``.
+Everything is written to ``benchmarks/results/BENCH_fastpath.json``
+(mirrored to the repo root).
 """
 
-import json
 import os
 from statistics import median
 
@@ -34,9 +34,6 @@ from repro.sim.driver import simulate
 from repro.sim.sampling import SamplingPlan
 from repro.workloads.base import CodeSpec, RegionSpec, WorkloadSpec
 from repro.workloads.scaleout import SCALEOUT_WORKLOADS
-
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_fastpath.json")
 
 NUM_CORES = 16
 SCALE = 64
@@ -85,7 +82,7 @@ def _identical(fast, slow):
             and fast.latency_percentiles() == slow.latency_percentiles())
 
 
-def test_fastpath_speedup(bench_extra):
+def test_fastpath_speedup(bench_extra, write_bench):
     record = {"num_cores": NUM_CORES, "scale": SCALE, "seed": SEED,
               "chunk": CHUNK, "reps": REPS,
               "plan": {"warmup_events": PLAN.warmup_events,
@@ -130,10 +127,7 @@ def test_fastpath_speedup(bench_extra):
                 filt.retired_events / max(filt.total_events, 1), 4),
         }
 
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(BENCH_PATH, "w") as fh:
-        json.dump(record, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_bench("BENCH_fastpath.json", record)
     bench_extra({"fastpath": record})
 
     print()

@@ -18,7 +18,7 @@ class VaultCache:
     """A direct-mapped vault of 64-byte TAD blocks."""
 
     __slots__ = ("size_bytes", "block_bytes", "num_sets", "tags",
-                 "states")
+                 "states", "resident")
 
     def __init__(self, size_bytes, block_bytes=BLOCK_BYTES):
         if size_bytes <= 0 or size_bytes % block_bytes != 0:
@@ -29,6 +29,7 @@ class VaultCache:
         self.num_sets = size_bytes // block_bytes
         self.tags = [-1] * self.num_sets     # -1 == invalid
         self.states = [0] * self.num_sets
+        self.resident = 0                    # valid sets (O(1) occupancy)
 
     @property
     def capacity_blocks(self):
@@ -60,7 +61,9 @@ class VaultCache:
         s = block % self.num_sets
         old_tag = self.tags[s]
         victim = None
-        if old_tag != -1 and old_tag != block:
+        if old_tag == -1:
+            self.resident += 1
+        elif old_tag != block:
             victim = (old_tag, self.states[s])
         self.tags[s] = block
         self.states[s] = state
@@ -72,6 +75,7 @@ class VaultCache:
             state = self.states[s]
             self.tags[s] = -1
             self.states[s] = 0
+            self.resident -= 1
             return state
         return None
 
@@ -97,8 +101,12 @@ class VaultCache:
         return ecc.encode(self.metadata_word(set_index))
 
     def occupancy(self):
-        return sum(1 for t in self.tags if t != -1)
+        """Number of valid sets, tracked incrementally -- the windowed
+        telemetry heatmap samples this once per vault per window, so it
+        must not scan the tag array."""
+        return self.resident
 
     def clear(self):
         self.tags = [-1] * self.num_sets
         self.states = [0] * self.num_sets
+        self.resident = 0

@@ -15,9 +15,10 @@ import sys
 import time
 
 from repro.experiments import EXPERIMENTS
-from repro.experiments.common import render_table
+from repro.experiments.common import notice, render_table
 from repro.obs import manifest as obs_manifest
 from repro.obs import session as obs_session
+from repro.obs.telemetry import interval_from_env
 from repro.sim import engine as sim_engine
 from repro.sim.driver import DEFAULT_CHUNK, use_chunk
 from repro.sim.fastpath import use_fastpath
@@ -69,6 +70,17 @@ def main(argv=None):
                         help="write a JSON run-provenance manifest "
                              "(config, seed, git sha, wall clock, "
                              "events/sec, latency percentiles) to DIR")
+    parser.add_argument("--telemetry", type=int, default=None,
+                        metavar="N",
+                        help="sample windowed telemetry (per-core hit "
+                             "rates, NoC hops, vault occupancy, phase "
+                             "detection) every N driven events "
+                             "(default: $REPRO_TELEMETRY or off)")
+    parser.add_argument("--profile", action="store_true",
+                        help="hierarchical wall-clock self-profile of "
+                             "the simulator (drive loop, fastpath, "
+                             "vault/NUCA, coherence, directory, NoC, "
+                             "memory, ECC regions)")
     parser.add_argument("--faults", type=float, default=None,
                         metavar="RATE",
                         help="inject bit-flip faults (data/tag/"
@@ -108,6 +120,10 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.trace < 0:
         parser.error("--trace must be positive")
+    if args.telemetry is not None and args.telemetry < 0:
+        parser.error("--telemetry must be >= 0 (0 = off)")
+    telemetry_every = (args.telemetry if args.telemetry is not None
+                       else interval_from_env())
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.chunk is not None and args.chunk < 1:
@@ -179,18 +195,33 @@ def main(argv=None):
     start = time.time()
     with obs_session.observe(trace_capacity=args.trace,
                              collect_manifests=args.manifest is not None,
-                             collect_stats=args.stats) as session:
+                             collect_stats=args.stats,
+                             telemetry_every=telemetry_every,
+                             profile=args.profile) as session:
         with sim_engine.use_engine(engine), plan_ctx, \
                 fastpath_ctx, chunk_ctx:
-            rows = func(**kwargs)
+            if session.profiler is not None:
+                with session.profiler.region("experiment"):
+                    rows = func(**kwargs)
+            else:
+                rows = func(**kwargs)
+        if session.profiler is not None:
+            session.profiler.stop()
     elapsed = time.time() - start
+    profile_report = (session.profiler.report()
+                      if session.profiler is not None else None)
+    telemetry_summaries = [s.summary() for s in session.telemetry]
 
     if args.json:
         import json
-        print(json.dumps({"experiment": args.experiment,
-                          "elapsed_s": elapsed, "rows": rows,
-                          "engine": engine.snapshot()},
-                         indent=2, default=str))
+        doc = {"experiment": args.experiment,
+               "elapsed_s": elapsed, "rows": rows,
+               "engine": engine.snapshot()}
+        if profile_report is not None:
+            doc["profile"] = profile_report
+        if telemetry_summaries:
+            doc["telemetry"] = telemetry_summaries
+        print(json.dumps(doc, indent=2, default=str))
     else:
         shown = rows
         if args.experiment == "fig8":
@@ -204,6 +235,20 @@ def main(argv=None):
         if chart:
             print()
             print(chart)
+
+    if profile_report is not None and not args.json:
+        # under --json the full report rides in the JSON document
+        from repro.obs.profile import render_report
+        print()
+        print(render_report(profile_report))
+    if telemetry_summaries:
+        notice("", args.json)
+        notice("# telemetry: %d run(s), %d windows, %d phases "
+               "(every %d events)"
+               % (len(telemetry_summaries),
+                  sum(t["windows"] for t in telemetry_summaries),
+                  sum(len(t["phases"]) for t in telemetry_summaries),
+                  telemetry_every), args.json)
 
     if args.stats:
         print()
@@ -228,15 +273,49 @@ def main(argv=None):
             "engine": engine.snapshot(),
             "runs": session.runs,
         }
+        if profile_report is not None:
+            data["profile"] = profile_report
+        if telemetry_summaries:
+            data["telemetry"] = telemetry_summaries
         path = obs_manifest.write_manifest(
             data, args.manifest, "%s-manifest" % args.experiment)
         # keep stdout machine-parseable under --json (the notice would
         # otherwise trail the JSON document in a shell redirect)
-        notice = sys.stderr if args.json else sys.stdout
-        print(file=notice)
-        print("manifest: %s (%d runs)" % (path, len(session.runs)),
-              file=notice)
+        notice("", args.json)
+        notice("manifest: %s (%d runs)" % (path, len(session.runs)),
+               args.json)
+        for name, text in _export_files(args.experiment, session,
+                                        profile_report, engine):
+            import os
+            fpath = os.path.join(os.path.expanduser(args.manifest),
+                                 name)
+            with open(fpath, "w", encoding="utf-8") as f:
+                f.write(text)
+            notice("export: %s" % fpath, args.json)
     return 0
+
+
+def _export_files(experiment, session, profile_report, engine):
+    """Telemetry/profile export artifacts to drop next to the manifest
+    envelope: ``(filename, text)`` pairs -- a Perfetto-compatible
+    chrome trace whenever telemetry or profiling ran, plus JSONL and
+    Prometheus snapshots of the telemetry series."""
+    import json as _json
+
+    out = []
+    if session.telemetry or profile_report is not None:
+        from repro.obs.telemetry import export_chrome_trace
+        trace = export_chrome_trace(session.telemetry, profile_report,
+                                    engine.recorder.spans())
+        out.append(("%s-perfetto.json" % experiment,
+                    _json.dumps(trace) + "\n"))
+    if session.telemetry:
+        from repro.obs.telemetry import export_jsonl, export_prometheus
+        out.append(("%s-telemetry.jsonl" % experiment,
+                    export_jsonl(session.telemetry)))
+        out.append(("%s-telemetry.prom" % experiment,
+                    export_prometheus(session.telemetry)))
+    return out
 
 
 if __name__ == "__main__":

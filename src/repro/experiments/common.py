@@ -1,12 +1,25 @@
-"""Shared experiment plumbing: sampling plans, statistics helpers and a
-plain-text table renderer."""
+"""Shared experiment plumbing: sampling plans, statistics helpers, a
+plain-text table renderer and the stdout/stderr notice policy."""
 
 import math
+import sys
 
 from repro.sim.sampling import SamplingPlan, from_env
 
 DEFAULT_SCALE = 64
 DEFAULT_SEED = 7
+
+
+def notice(message="", json_mode=False, stream=None):
+    """Print a human-readable progress/notice line.
+
+    Under ``--json`` (``json_mode=True``) notices go to stderr so
+    stdout stays one machine-parseable document; otherwise they share
+    stdout with the tables.  ``stream`` overrides the destination
+    outright (tests capture it)."""
+    if stream is None:
+        stream = sys.stderr if json_mode else sys.stdout
+    print(message, file=stream)
 
 
 def resolve_plan(plan=None, default="standard"):

@@ -16,9 +16,22 @@ framework in particular):
   capturing config, seed, git sha, sampling plan, wall clock,
   events/sec and exposed-latency percentiles for every run.
 
+Observability v2 adds three phase/time-resolved pieces on top:
+
+* :mod:`repro.obs.telemetry` -- a windowed sampler over the stats
+  registry (``--telemetry N``): per-core/per-vault time series, phase
+  detection on the windowed miss rate, JSONL / Prometheus / Perfetto
+  exporters.
+* :mod:`repro.obs.profile` -- a hierarchical wall-clock self-profiler
+  (``--profile``) with per-subsystem regions; also owns :data:`clock`,
+  the sanctioned wall-clock for simulator code (silolint SL008).
+* :mod:`repro.obs.recorder` -- the run engine's flight recorder:
+  per-RunRequest spans and engine gauges.
+
 :mod:`repro.obs.session` ties them to the CLI: a context manager that
-the run driver consults so ``--stats/--trace/--manifest`` flags reach
-simulations started deep inside experiment functions.
+the run driver consults so ``--stats/--trace/--manifest/--telemetry/
+--profile`` flags reach simulations started deep inside experiment
+functions.
 """
 
 from repro.obs.stats import (Stat, Counter, BoundStat, Formula,
@@ -28,6 +41,12 @@ from repro.obs.trace import (EventTracer, TraceEvent, JsonlSink,
                              EV_DOWNGRADE, EV_EVICTION)
 from repro.obs.manifest import git_sha, write_manifest, MANIFEST_SCHEMA
 from repro.obs.session import observe, current_session
+from repro.obs.profile import (clock, Profiler, render_report,
+                               instrument)
+from repro.obs.telemetry import (TelemetrySampler, detect_phases,
+                                 export_jsonl, export_prometheus,
+                                 export_chrome_trace)
+from repro.obs.recorder import FlightRecorder
 
 __all__ = [
     "Stat", "Counter", "BoundStat", "Formula", "Distribution", "Group",
@@ -36,4 +55,8 @@ __all__ = [
     "EV_EVICTION",
     "git_sha", "write_manifest", "MANIFEST_SCHEMA",
     "observe", "current_session",
+    "clock", "Profiler", "render_report", "instrument",
+    "TelemetrySampler", "detect_phases",
+    "export_jsonl", "export_prometheus", "export_chrome_trace",
+    "FlightRecorder",
 ]

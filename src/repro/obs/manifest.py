@@ -22,7 +22,11 @@ import json
 import os
 import subprocess
 
-MANIFEST_SCHEMA = "silo-repro-manifest/2"
+#: /3: run records may carry a ``telemetry`` section (windowed series
+#: + detected phases) and experiment envelopes may carry ``profile``
+#: (self-profiler report) and ``telemetry`` sections; the engine
+#: snapshot gains ``flight_recorder`` (per-request spans + gauges).
+MANIFEST_SCHEMA = "silo-repro-manifest/3"
 
 _SHA_CACHE = {}
 _PROTOCOL_CACHE = {}

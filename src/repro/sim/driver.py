@@ -9,8 +9,7 @@ timestamps memory-controller bank occupancy.
 """
 
 import os
-import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import asdict, dataclass, field
 from typing import List, Optional
 
@@ -21,6 +20,7 @@ from repro.cores.perf_model import (
     LEVEL_DRAM_CACHE, LEVEL_MEMORY)
 from repro.obs import manifest as _manifest
 from repro.obs import session as _obs_session
+from repro.obs.profile import clock
 from repro.obs.stats import Distribution
 from repro.sim.config import LLC_PRIVATE_VAULT
 from repro.sim.fastpath import kernel_for
@@ -117,7 +117,7 @@ def _per_core_state(system, traces):
 
 
 # silolint: hotpath
-def _drive(system, per_core, starts, ends, times, chunk):
+def _drive(system, per_core, starts, ends, times, chunk, sampler=None):
     """Interleave cores in ``chunk``-sized slices from per-core start to
     per-core end positions (positions may differ when prewarm prefixes
     have different lengths).
@@ -128,6 +128,11 @@ def _drive(system, per_core, starts, ends, times, chunk):
     results are bit-identical either way.  ``system.measuring`` is
     hoisted per drive: it only changes between phases (prefetcher
     configs flip it mid-access, but those disqualify the kernel).
+
+    ``sampler`` is an optional
+    :class:`repro.obs.telemetry.TelemetrySampler` ticked once per
+    interleave *round* (not per event) with the cumulative driven
+    count; disabled telemetry costs one ``is not None`` test per round.
     """
     access = system.access
     kernel = kernel_for(system)
@@ -135,6 +140,7 @@ def _drive(system, per_core, starts, ends, times, chunk):
     measuring = system.measuring
     positions = list(starts)
     remaining = sum(e - s for s, e in zip(starts, ends))
+    total = remaining
     while remaining > 0:
         for idx, (core, blocks, writes, ifetches, lat_mul, cpi_ev,
                   keys, if_prefix) in enumerate(per_core):
@@ -160,6 +166,8 @@ def _drive(system, per_core, starts, ends, times, chunk):
                     retire = None
             remaining -= hi - pos
             positions[idx] = hi
+        if sampler is not None:
+            sampler.tick(total - remaining)
 
 
 @dataclass
@@ -180,6 +188,9 @@ class RunResult:
     warmup_wall_s: float = 0.0
     measure_wall_s: float = 0.0
     warmup_events: int = 0
+    #: TelemetrySampler covering the measure phase, when the session
+    #: asked for windowed telemetry (None otherwise).
+    telemetry: Optional[object] = None
 
     # -- performance -------------------------------------------------------
 
@@ -300,6 +311,8 @@ class RunResult:
             data["trace"] = sys_.tracer.summary()
         if sys_.faults is not None:
             data["faults"] = sys_.faults.describe()
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry.summary()
         if include_stats:
             data["stats"] = self.stats_snapshot()
         return data
@@ -328,26 +341,53 @@ def run_system(system, traces, warmup_events, measure_events,
                                 end + measure_events))
         warm_ends.append(end)
     session = _obs_session.current_session()
+    profiler = session.profiler if session is not None else None
+    telemetry_every = (session.telemetry_every if session is not None
+                       else 0)
     if session is not None:
         session.attach(system)
+    if profiler is not None:
+        from repro.obs.profile import instrument
+        instrument(profiler, system)
+    sampler = None
+    if telemetry_every > 0:
+        # built here (the registry walk is the expensive part) and
+        # re-armed after the warmup-boundary reset, so the timed
+        # measure window only pays the per-window sampling cost
+        from repro.obs.telemetry import TelemetrySampler
+        sampler = TelemetrySampler(system, telemetry_every)
     times = [0.0] * system.num_cores
     per_core = _per_core_state(system, traces)
     system.measuring = False
-    t0 = time.perf_counter()
-    _drive(system, per_core, [0] * len(traces), warm_ends, times, chunk)
-    t1 = time.perf_counter()
+    t0 = clock()
+    with (profiler.region("warmup") if profiler is not None
+          else nullcontext()):
+        _drive(system, per_core, [0] * len(traces), warm_ends, times,
+               chunk)
+    t1 = clock()
     system.reset_stats()
     system.measuring = True
-    _drive(system, per_core, warm_ends,
-           [e + measure_events for e in warm_ends], times, chunk)
-    t2 = time.perf_counter()
+    if sampler is not None:
+        sampler.start()
+    with (profiler.region("measure") if profiler is not None
+          else nullcontext()):
+        _drive(system, per_core, warm_ends,
+               [e + measure_events for e in warm_ends], times, chunk,
+               sampler)
+    t2 = clock()
+    if sampler is not None:
+        sampler.finish(measure_events * len(traces))
     for tr in traces:
         system.cores[tr.core_id].retire(
             int(measure_events * tr.instr_per_event))
     result = RunResult(system=system, measure_events=measure_events,
                        core_ids=[tr.core_id for tr in traces],
                        warmup_wall_s=t1 - t0, measure_wall_s=t2 - t1,
-                       warmup_events=warmup_events)
+                       warmup_events=warmup_events, telemetry=sampler)
+    if profiler is not None:
+        profiler.add_events(result.driven_events())
+        if system.shadow_filter is not None:
+            profiler.note_fastpath(system.shadow_filter.summary())
     if session is not None:
         session.note_run(result, seed=seed)
     return result
@@ -364,19 +404,23 @@ def simulate(config, spec, plan, core_params=None, seed=0,
     default); results are identical either way."""
     from repro.workloads.generator import generate_traces
 
-    n = config.num_cores
-    if core_params is None:
-        core_params = [spec.core] * n
-    system = System(config, core_params)
-    system.track_sharing = track_sharing
-    if fastpath is not None:
-        system.use_fastpath = fastpath
-    if faults is not None and faults.active():
-        from repro.faults.injector import FaultInjector
-        system.attach_faults(FaultInjector(faults, n))
-    traces, layout = generate_traces(
-        spec, num_cores=n, events_per_core=plan.total_events,
-        scale=config.scale, seed=seed)
-    system.rw_shared_range = layout.rw_shared_range
+    session = _obs_session.current_session()
+    profiler = session.profiler if session is not None else None
+    with (profiler.region("setup") if profiler is not None
+          else nullcontext()):
+        n = config.num_cores
+        if core_params is None:
+            core_params = [spec.core] * n
+        system = System(config, core_params)
+        system.track_sharing = track_sharing
+        if fastpath is not None:
+            system.use_fastpath = fastpath
+        if faults is not None and faults.active():
+            from repro.faults.injector import FaultInjector
+            system.attach_faults(FaultInjector(faults, n))
+        traces, layout = generate_traces(
+            spec, num_cores=n, events_per_core=plan.total_events,
+            scale=config.scale, seed=seed)
+        system.rw_shared_range = layout.rw_shared_range
     return run_system(system, traces, plan.warmup_events,
                       plan.measure_events, chunk, seed=seed)

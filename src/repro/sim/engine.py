@@ -43,7 +43,6 @@ import hashlib
 import json
 import os
 import pickle
-import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Tuple
@@ -54,6 +53,8 @@ from repro.cores.perf_model import (
 from repro.faults.plan import FaultPlan, current_plan
 from repro.obs import manifest as _manifest
 from repro.obs import session as _obs_session
+from repro.obs.profile import clock
+from repro.obs.recorder import FlightRecorder
 from repro.obs.stats import Distribution, Group
 from repro.sim.config import HierarchyConfig, LLC_PRIVATE_VAULT
 from repro.sim.driver import DEFAULT_CHUNK, default_chunk, run_system
@@ -556,9 +557,20 @@ def _execute_to_summary(request, request_key):
 
 
 def _pool_worker(payload):
-    """Top-level (picklable) ProcessPoolExecutor entry point."""
+    """Top-level (picklable) ProcessPoolExecutor entry point; returns
+    ``(summary, meta)`` where ``meta`` carries the worker pid and its
+    execution wall clock for the parent's flight recorder."""
     request, request_key = payload
-    return _execute_to_summary(request, request_key)
+    t0 = clock()
+    summary = _execute_to_summary(request, request_key)
+    return summary, {"pid": os.getpid(), "exec_s": clock() - t0}
+
+
+def _stamp_done(done_at, key, _fut):
+    """``add_done_callback`` hook: stamp a future's completion on the
+    *parent's* clock (worker timestamps are not comparable across
+    processes; the worker only reports its execution duration)."""
+    done_at[key] = clock()
 
 
 # ---------------------------------------------------------------------------
@@ -647,6 +659,8 @@ class RunEngine:
         self.executed = 0
         self.exec_wall_s = 0.0
         self.driven_events = 0
+        #: Per-request span log + engine gauges (repro.obs.recorder).
+        self.recorder = FlightRecorder()
         self.stats = self._build_stats()
 
     def _build_stats(self):
@@ -666,6 +680,13 @@ class RunEngine:
                desc="measured events driven across executed points")
         g.formula("events_per_sec", self.events_per_sec,
                   desc="engine-level simulation throughput")
+        g.formula("cache_hit_ratio", self.cache_hit_ratio,
+                  desc="fraction of cache lookups that hit")
+        g.formula("in_flight", lambda: self.recorder.in_flight,
+                  desc="requests dispatched in the open batch")
+        g.formula("worker_utilization",
+                  lambda: self.recorder.utilization(self.jobs),
+                  desc="busy seconds over worker-count x batch wall")
         return g
 
     def events_per_sec(self):
@@ -673,12 +694,25 @@ class RunEngine:
             return 0.0
         return self.driven_events / self.exec_wall_s
 
+    def cache_hit_ratio(self):
+        """Warm-cache hit ratio across this engine's lifetime."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
     def snapshot(self):
         """The engine stats group as a plain dict (manifest-ready)."""
         snap = self.stats.snapshot()
         snap["cache_dir"] = (self.cache.directory
                              if self.cache is not None else None)
+        snap["flight_recorder"] = self.recorder.summary(self.jobs)
         return snap
+
+    @staticmethod
+    def _note_span(session, span):
+        """Stream one flight-recorder span through the session (the
+        job-server progress seam); no-op when nothing is observing."""
+        if session is not None:
+            session.emit("engine_span", span)
 
     def run(self, requests):
         """Execute a batch; returns RunSummaries aligned with
@@ -686,10 +720,11 @@ class RunEngine:
         requests = list(requests)
         self.requests += len(requests)
         session = _obs_session.current_session()
-        # Stats/trace collection needs live Systems: force in-process
-        # execution and skip cache reads so every point simulates.
-        live_only = session is not None and (
-            session.trace_capacity > 0 or session.collect_stats)
+        # Tracing, stats inspection, telemetry sampling and profiling
+        # all need live Systems: force in-process execution and skip
+        # cache reads so every point simulates.
+        live_only = session is not None and session.needs_live()
+        rec = self.recorder
 
         keys = [req.key(self.fingerprint) for req in requests]
         order = []
@@ -699,15 +734,21 @@ class RunEngine:
                 by_key[key] = req
                 order.append(key)
         self.unique_points += len(order)
+        rec.start_batch(len(order))
+        t_batch = clock()
 
         summaries = {}
         missing = []
         for key in order:
             cached = None
             if self.cache is not None and not live_only:
+                t_s = clock()
                 cached = self.cache.get(key)
                 if cached is not None:
                     self.cache_hits += 1
+                    self._note_span(session, rec.record(
+                        key, "cache-replay", "local", 0.0,
+                        clock() - t_s, t_s - rec.epoch))
                 else:
                     self.cache_misses += 1
             if cached is not None:
@@ -718,34 +759,61 @@ class RunEngine:
                 missing.append(key)
 
         if missing:
-            t0 = time.perf_counter()
+            t0 = clock()
             in_process = (self.jobs <= 1 or live_only
                           or len(missing) <= 1)
             if in_process:
                 # run_system records these into the session itself
                 # (tracer attach, rich manifests) -- no double noting.
-                executed = [_execute_to_summary(by_key[k], k)
-                            for k in missing]
+                executed = []
+                for k in missing:
+                    t_s = clock()
+                    summary = _execute_to_summary(by_key[k], k)
+                    executed.append(summary)
+                    self._note_span(session, rec.record(
+                        k, "simulate", "local", t_s - t0,
+                        clock() - t_s, t_s - rec.epoch))
             else:
                 executed = self._run_pool([(by_key[k], k)
-                                           for k in missing])
+                                           for k in missing],
+                                          t0, session)
                 if session is not None:
                     for summary in executed:
                         session.note_summary(summary)
-            self.exec_wall_s += time.perf_counter() - t0
+            self.exec_wall_s += clock() - t0
             for key, summary in zip(missing, executed):
                 summaries[key] = summary
                 self.executed += 1
                 self.driven_events += summary.driven_events()
                 if self.cache is not None and not live_only:
                     self.cache.put(key, summary)
+        rec.end_batch(clock() - t_batch)
         return [summaries[key] for key in keys]
 
-    def _run_pool(self, payloads):
+    def _run_pool(self, payloads, t_batch, session=None):
         from concurrent.futures import ProcessPoolExecutor
         workers = min(self.jobs, len(payloads))
+        done_at = {}
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_pool_worker, payloads))
+            futures = []
+            for payload in payloads:
+                fut = pool.submit(_pool_worker, payload)
+                fut.add_done_callback(
+                    functools.partial(_stamp_done, done_at, payload[1]))
+                futures.append(fut)
+            results = []
+            for (_request, key), fut in zip(payloads, futures):
+                summary, meta = fut.result()
+                # Span start reconstructed parent-side: completion
+                # stamp minus the worker-reported duration.
+                ended = done_at.get(key, clock())
+                started = ended - meta["exec_s"]
+                self._note_span(session, self.recorder.record(
+                    key, "simulate", "pid:%d" % meta["pid"],
+                    max(started - t_batch, 0.0), meta["exec_s"],
+                    started - self.recorder.epoch))
+                results.append(summary)
+            return results
 
 
 # ---------------------------------------------------------------------------

@@ -220,6 +220,9 @@ class ShadowFilter:
         #: Kernel disabled itself (miss-heavy workload); permanent
         #: for this system.
         self.bailed = False
+        #: Optional zero-arg callback fired by :meth:`bail` (the
+        #: profiler counts mid-run bail-outs through this).
+        self.on_bail = None
         self._decided = False
         #: Events retired in bulk by the kernel.
         self.retired_events = 0
@@ -470,6 +473,8 @@ class ShadowFilter:
                 cache.shadow = None
         for lane in self._lanes:
             lane[0].clear()
+        if self.on_bail is not None:
+            self.on_bail()
 
     # -- verify mode ---------------------------------------------------
 

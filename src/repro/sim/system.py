@@ -451,6 +451,7 @@ class System:
                 continue
             vault.tags[s] = -1
             vault.states[s] = 0
+            vault.resident -= 1
             if self.missmaps is not None:
                 self.missmaps[c].record_eviction(block)
             self.l1d[c].invalidate(block)
@@ -1130,6 +1131,15 @@ class System:
         missmap counters).  Architectural state (cache contents,
         predictor tables) is never touched."""
         self.stats.reset()
+
+    def occupancy_by_bank(self):
+        """Per-bank occupancy fractions (resident blocks over capacity)
+        of the LLC level: one entry per NUCA bank (shared) or per vault
+        cache (private) -- the telemetry heatmap series
+        (repro.obs.telemetry)."""
+        banks = self.llc.banks if self.llc is not None else self.vaults
+        return [bank.occupancy() / bank.capacity_blocks
+                for bank in banks]
 
     def sharing_breakdown(self):
         """Fig. 3 classification of LLC accesses: (reads,

@@ -45,6 +45,12 @@ silolint encodes those contracts as ``ast``-level rules:
   results silently diverge between serial and parallel runs.  Populated
   literal tables (``PRESETS = {"quick": ...}``) are immutable by
   convention and stay exempt.
+* **SL008** -- raw wall-clock call (``time.time()``,
+  ``time.perf_counter()``, ``time.monotonic()``, ...) in simulator
+  packages (``sim``, ``caches``, ``coherence``, ``noc``) outside
+  :mod:`repro.obs`: every self-measurement must read
+  :data:`repro.obs.profile.clock`, so profiler regions, telemetry
+  windows and recorded wall clocks are all on one clock source.
 
 A finding on a given line is silenced with a trailing
 ``# silolint: disable=SL001`` (comma-separate several codes, or
@@ -72,6 +78,8 @@ RULES = {
     "SL006": "module-level mutable state that breaks process fan-out",
     "SL007": "per-event allocation or attribute chain in a "
              "hotpath-marked function",
+    "SL008": "raw wall-clock call bypassing repro.obs.profile.clock "
+             "in simulator code",
 }
 
 #: Packages whose code paths decide timing (SL004/SL005 scope).
@@ -81,6 +89,15 @@ PARAMS_DIRS = frozenset(("sim", "caches", "noc", "memory"))
 #: Packages the run engine fans out across processes (SL006 scope):
 #: module-level mutable state there diverges per worker.
 FANOUT_DIRS = frozenset(("sim", "caches"))
+#: Packages whose wall-clock reads must go through
+#: repro.obs.profile.clock (SL008 scope; repro.obs itself is exempt).
+WALLCLOCK_DIRS = frozenset(("sim", "caches", "coherence", "noc"))
+
+#: ``time``-module functions that read a clock (SL008).
+_WALLCLOCK_FNS = frozenset((
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns",
+    "clock_gettime", "clock_gettime_ns"))
 
 #: Constructor names whose module-level call yields mutable state.
 _MUTABLE_CONSTRUCTORS = frozenset((
@@ -159,12 +176,17 @@ class _ModuleFacts:
 
     def __init__(self, tree, path_parts):
         self.random_names = {}   # local name -> original random.* name
+        self.time_names = {}     # local name -> original time.* name
         self.has_registry = "obs" in path_parts
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom):
                 if node.module == "random":
                     for alias in node.names:
                         self.random_names[alias.asname or alias.name] \
+                            = alias.name
+                elif node.module == "time":
+                    for alias in node.names:
+                        self.time_names[alias.asname or alias.name] \
                             = alias.name
                 elif node.module and node.module.startswith("repro.obs"):
                     self.has_registry = True
@@ -189,6 +211,9 @@ class _FileLinter(ast.NodeVisitor):
         self.in_params_scope = (bool(PARAMS_DIRS & path_parts)
                                 and os.path.basename(path) != "params.py")
         self.in_fanout_scope = bool(FANOUT_DIRS & path_parts)
+        # repro.obs owns the sanctioned clock; it is exempt from SL008.
+        self.in_wallclock_scope = (bool(WALLCLOCK_DIRS & path_parts)
+                                   and "obs" not in path_parts)
         # Statements directly at module scope (SL006 only fires there:
         # function-local and instance state is per-execution anyway).
         self._module_stmts = frozenset(id(stmt) for stmt in tree.body)
@@ -235,6 +260,24 @@ class _FileLinter(ast.NodeVisitor):
                                "literal %r passed as %s= bypasses "
                                "repro.params"
                                % (kw.value.value, kw.arg))
+        # -- SL008 -----------------------------------------------------
+        if self.in_wallclock_scope:
+            called = None
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                    and func.attr in _WALLCLOCK_FNS):
+                called = "time.%s()" % func.attr
+            elif isinstance(func, ast.Name):
+                origin = self.facts.time_names.get(func.id)
+                if origin in _WALLCLOCK_FNS:
+                    called = "time.%s() (imported as %s)" % (origin,
+                                                             func.id)
+            if called is not None:
+                self._flag(node, "SL008",
+                           "raw wall-clock call %s in simulator code "
+                           "(measure through repro.obs.profile.clock)"
+                           % called)
         self.generic_visit(node)
 
     # -- SL002 ---------------------------------------------------------

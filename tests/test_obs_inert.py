@@ -90,3 +90,45 @@ def test_snapshot_reading_does_not_mutate():
     b = result.stats_snapshot()
     assert a == b
     assert fingerprint(result) == before
+
+
+# -- observability v2: telemetry + profiler ---------------------------------
+
+
+@pytest.mark.parametrize("kind", ["shared", "private_vault"])
+def test_telemetry_and_profiler_are_inert(kind):
+    """v2 layers (windowed telemetry, self-profiler) only read state:
+    every simulated observable stays bit-identical when both are on."""
+    spec = WEB_SEARCH if kind == "shared" else DATA_SERVING
+    plain = simulate(config(kind), spec, PLAN, seed=7)
+
+    with observe(telemetry_every=400, profile=True) as session:
+        watched = simulate(config(kind), spec, PLAN, seed=7)
+
+    assert fingerprint(watched) == fingerprint(plain)
+    assert watched.stats_snapshot() == plain.stats_snapshot()
+    assert (watched.latency_percentiles()
+            == plain.latency_percentiles())
+    # ...and the observation actually happened
+    assert watched.telemetry is not None and watched.telemetry.windows
+    assert session.profiler.report()["driven_events"] \
+        == watched.driven_events()
+
+
+def test_telemetry_only_grows_the_manifest():
+    """With telemetry on, the manifest gains a "telemetry" section but
+    every pre-existing key keeps its exact value."""
+    plain = simulate(config("private_vault"), WEB_SEARCH, PLAN, seed=4)
+    base = plain.manifest(seed=4)
+    with observe(telemetry_every=500):
+        watched = simulate(config("private_vault"), WEB_SEARCH, PLAN,
+                           seed=4)
+    grown = watched.manifest(seed=4)
+    assert "telemetry" not in base
+    assert grown.pop("telemetry")["windows"] > 0
+    # host wall-clock (and the throughput derived from it) is the one
+    # legitimately non-deterministic section -- drop it on both sides
+    for doc in (base, grown):
+        doc.pop("wall_clock")
+        doc["throughput"].pop("events_per_sec")
+    assert grown == base

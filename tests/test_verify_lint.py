@@ -390,7 +390,7 @@ def test_cli_list_rules(capsys):
 
 def test_rule_catalogue_is_complete():
     assert sorted(RULES) == ["SL001", "SL002", "SL003", "SL004", "SL005",
-                             "SL006", "SL007"]
+                             "SL006", "SL007", "SL008"]
 
 
 # ---------------------------------------------------------------------------
@@ -479,6 +479,84 @@ def test_sl007_marker_on_def_line(tmp_path):
 def test_sl007_suppression(tmp_path):
     report = _lint_source(tmp_path, HOT_LOOP % (
         "        out.append(list(ev))  # silolint: disable=SL007\n"))
+    assert report.ok, report.render()
+
+
+# ---------------------------------------------------------------------------
+# SL008: raw wall-clock calls in simulator code
+# ---------------------------------------------------------------------------
+
+
+def test_sl008_flags_perf_counter_in_sim(tmp_path):
+    report = _lint_source(tmp_path, (
+        "import time\n"
+        "def run():\n"
+        "    t0 = time.perf_counter()\n"
+        "    return time.perf_counter() - t0\n"), subdir="sim")
+    assert _codes(report) == ["SL008", "SL008"]
+    assert "repro.obs.profile.clock" in report.violations[0].message
+
+
+def test_sl008_flags_time_time_in_caches(tmp_path):
+    report = _lint_source(tmp_path, (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n"), subdir="caches")
+    assert _codes(report) == ["SL008"]
+
+
+def test_sl008_flags_from_import_alias(tmp_path):
+    report = _lint_source(tmp_path, (
+        "from time import monotonic as now\n"
+        "def stamp():\n"
+        "    return now()\n"), subdir="noc")
+    assert _codes(report) == ["SL008"]
+    assert "monotonic" in report.violations[0].message
+
+
+def test_sl008_quiet_outside_simulator_scope(tmp_path):
+    # experiments/ may read wall clock freely (CLI elapsed time)
+    report = _lint_source(tmp_path, (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n"), subdir="experiments")
+    assert report.ok, report.render()
+
+
+def test_sl008_quiet_in_obs_package(tmp_path):
+    # repro.obs owns the sanctioned clock -- it must be exempt even
+    # when an ``obs`` package sits inside a wall-clock-scoped tree
+    report = _lint_source(tmp_path, (
+        "import time\n"
+        "clock = time.perf_counter\n"
+        "def wall():\n"
+        "    return time.perf_counter()\n"), subdir="sim/obs")
+    assert report.ok, report.render()
+
+
+def test_sl008_quiet_on_sanctioned_clock(tmp_path):
+    report = _lint_source(tmp_path, (
+        "from repro.obs.profile import clock\n"
+        "def run():\n"
+        "    t0 = clock()\n"
+        "    return clock() - t0\n"), subdir="sim")
+    assert report.ok, report.render()
+
+
+def test_sl008_quiet_on_non_clock_time_functions(tmp_path):
+    report = _lint_source(tmp_path, (
+        "import time\n"
+        "def nap():\n"
+        "    time.sleep(0.1)\n"), subdir="coherence")
+    assert report.ok, report.render()
+
+
+def test_sl008_suppression(tmp_path):
+    report = _lint_source(tmp_path, (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()  # silolint: disable=SL008\n"),
+        subdir="sim")
     assert report.ok, report.render()
 
 
