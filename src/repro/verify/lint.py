@@ -54,8 +54,16 @@ silolint encodes those contracts as ``ast``-level rules:
 
 A finding on a given line is silenced with a trailing
 ``# silolint: disable=SL001`` (comma-separate several codes, or
-``disable=all``) -- suppressions are expected to carry a justification
-comment.  Output is ``file:line:col: CODE message`` or, with
+``disable=all``); a whole file opts out of one rule with a
+``# silolint: disable-file=SL003`` pragma on any line (typically the
+module docstring's vicinity) -- suppressions are expected to carry a
+justification comment.  Suppressions do not vanish: the report counts
+them per rule (``--json`` exposes ``suppressed``), so a tree quietly
+accumulating opt-outs is visible.  SL002 additionally resolves one
+step interprocedurally: a helper module whose in-program callers all
+have stats-registry linkage inherits that linkage (see
+:func:`_resolve_sl002_interproc`), so pure helper modules need no
+suppression.  Output is ``file:line:col: CODE message`` or, with
 ``--json``, a machine-readable report (see :meth:`LintReport.as_dict`).
 """
 
@@ -109,6 +117,9 @@ Violation = namedtuple("Violation", "file line col rule message")
 
 _SUPPRESS_RE = re.compile(
     r"#\s*silolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+_FILE_SUPPRESS_RE = re.compile(
+    r"#\s*silolint:\s*disable-file=([A-Za-z0-9_,\s]+)")
 
 _HOTPATH_RE = re.compile(r"#\s*silolint:\s*hotpath\b")
 
@@ -167,6 +178,19 @@ def _suppressions(line_text):
     return frozenset(tok.strip().upper() if tok.strip() != "all"
                      else "all"
                      for tok in m.group(1).split(",") if tok.strip())
+
+
+def _file_suppressions(lines):
+    """Rule codes disabled for the whole file by
+    ``# silolint: disable-file=<rule>`` pragmas (on any line)."""
+    out = set()
+    for line in lines:
+        m = _FILE_SUPPRESS_RE.search(line)
+        if m:
+            out.update(tok.strip().upper() if tok.strip() != "all"
+                       else "all"
+                       for tok in m.group(1).split(",") if tok.strip())
+    return frozenset(out)
 
 
 class _ModuleFacts:
@@ -510,6 +534,12 @@ class LintReport:
         self.violations = []
         self.errors = []        # (path, message) for unparseable files
         self.files_scanned = 0
+        #: rule -> count of findings silenced by disable/disable-file
+        #: pragmas (suppressions must not vanish from reports).
+        self.suppressed_counts = {}
+        #: SL002 findings resolved by the one-step interprocedural
+        #: caller check rather than by a pragma.
+        self.interproc_resolved = 0
 
     @property
     def ok(self):
@@ -523,16 +553,31 @@ class LintReport:
             out[v.rule] = out.get(v.rule, 0) + 1
         return out
 
+    def suppressed_total(self):
+        return sum(self.suppressed_counts.values())
+
     def as_dict(self):
-        """JSON-ready report (the ``--json`` output schema)."""
+        """JSON-ready report (the ``--json`` output schema).
+
+        Version 2 adds the rule inventory (``rules``), per-rule
+        suppression counts (``suppressed``), and the number of SL002
+        findings the interprocedural caller check resolved
+        (``interproc_resolved``).
+        """
         return {
-            "version": 1,
+            "version": 2,
             "files_scanned": self.files_scanned,
             "counts": self.counts(),
+            "rules": dict(RULES),
             "violations": [
                 {"file": v.file, "line": v.line, "col": v.col,
                  "rule": v.rule, "message": v.message}
                 for v in self.violations],
+            "suppressed": {
+                "total": self.suppressed_total(),
+                "counts": dict(sorted(self.suppressed_counts.items())),
+            },
+            "interproc_resolved": self.interproc_resolved,
             "errors": [{"file": p, "message": m}
                        for p, m in self.errors],
         }
@@ -561,12 +606,61 @@ def lint_file(path, report):
     linter.visit(tree)
     if not linter.violations:
         return
+    file_disabled = _file_suppressions(lines)
     for v in linter.violations:
         text = lines[v.line - 1] if 0 < v.line <= len(lines) else ""
-        disabled = _suppressions(text)
+        disabled = _suppressions(text) | file_disabled
         if "all" in disabled or v.rule in disabled:
+            report.suppressed_counts[v.rule] = (
+                report.suppressed_counts.get(v.rule, 0) + 1)
             continue
         report.violations.append(v)
+
+
+def _resolve_sl002_interproc(report, paths):
+    """Resolve SL002 one step interprocedurally.
+
+    A helper module with no stats-registry linkage of its own is fine
+    when every in-program caller of its functions has that linkage:
+    the counters it mutates belong to objects the registered modules
+    own and snapshot.  Built on the call graph of
+    :mod:`repro.verify.callgraph`; only runs when SL002 findings
+    survived the per-file pass, so clean trees pay nothing.
+    """
+    if not any(v.rule == "SL002" for v in report.violations):
+        return
+    from repro.verify import callgraph as _cg
+    index = _cg.index_paths(list(paths))
+    graph = _cg.build_call_graph(index)
+    registered = {}
+    for minfo in index.modules.values():
+        parts = frozenset(os.path.normpath(os.path.abspath(minfo.file))
+                          .split(os.sep)[:-1])
+        registered[minfo.module] = _ModuleFacts(minfo.tree,
+                                                parts).has_registry
+    caller_mods = {}             # callee module -> {caller modules}
+    for caller, callees in graph.items():
+        cmod = caller.split("::", 1)[0]
+        for callee in callees:
+            caller_mods.setdefault(callee.split("::", 1)[0],
+                                   set()).add(cmod)
+    resolved_files = set()
+    for abspath, minfo in index.files.items():
+        if registered.get(minfo.module):
+            continue
+        callers = caller_mods.get(minfo.module, set()) - {minfo.module}
+        if callers and all(registered.get(m, False) for m in callers):
+            resolved_files.add(abspath)
+    if not resolved_files:
+        return
+    kept = []
+    for v in report.violations:
+        if (v.rule == "SL002"
+                and os.path.abspath(v.file) in resolved_files):
+            report.interproc_resolved += 1
+        else:
+            kept.append(v)
+    report.violations = kept
 
 
 def lint_paths(paths, select=None):
@@ -587,6 +681,7 @@ def lint_paths(paths, select=None):
             lint_file(path, report)
         else:
             report.errors.append((path, "no such file or directory"))
+    _resolve_sl002_interproc(report, paths)
     report.violations.sort(key=lambda v: (v.file, v.line, v.col,
                                           v.rule))
     if select is not None:
@@ -636,8 +731,12 @@ def main(argv=None):
         rendered = report.render()
         if rendered:
             print(rendered)
-        print("silolint: %d file(s), %d violation(s)%s"
+        print("silolint: %d file(s), %d violation(s), %d suppressed%s%s"
               % (report.files_scanned, len(report.violations),
+                 report.suppressed_total(),
+                 ", %d resolved interprocedurally"
+                 % report.interproc_resolved
+                 if report.interproc_resolved else "",
                  ", %d error(s)" % len(report.errors)
                  if report.errors else ""))
     if report.errors:

@@ -1,0 +1,370 @@
+"""Unit-consistency analysis (rule SL012).
+
+The paper's latency decompositions (Figs. 3/10) are sums of quantities
+measured in *core cycles*; the DRAM technology model works in
+*nanoseconds*; capacities are *bytes* and *blocks*.  Mixing those in
+arithmetic produces numbers that are wrong by a silent factor of two
+(0.5 ns/cycle) or sixty-four (bytes/block) -- errors no functional
+test catches because everything still "runs".
+
+This pass gives the constants in :mod:`repro.params` dimensions via a
+*declarative table* (``repro.params.UNITS`` /
+``repro.params.UNIT_FUNCTIONS``, see there) and propagates them
+through assignments and arithmetic:
+
+* ``+`` / ``-`` / comparisons between two expressions of *different
+  known* units are findings ("mixing cycle and ns");
+* ``*`` / ``/`` combine dimensions (``cycles * NS_PER_CYCLE`` where
+  ``NS_PER_CYCLE : ns/cycle`` yields ``ns`` -- the conversion point is
+  thereby explicit and silent about it);
+* calls to table-annotated functions check argument units and yield
+  the declared return unit;
+* a table-annotated function whose ``return`` expression has a
+  different known unit is a *unit-dropping return* finding.
+
+Numeric literals are dimensionless scalars: they scale any unit in
+``*``/``/`` and are compatible with anything in ``+``/``-`` (flagging
+``latency + 1`` would be noise, not signal).  Only two *concretely
+known, different* units ever produce a finding, which keeps the rule
+silent on code the table says nothing about.
+
+Units are products of integer powers of base dimensions, written
+``ns``, ``cycle``, ``byte/block``, ``nj/access``, ``1`` (pure ratio).
+"""
+
+import ast
+
+#: Literal numeric constants: dimensionless scalar (identity under
+#: ``*``/``/``, wildcard under ``+``/``-``).
+SCALAR = frozenset()
+
+
+def parse_unit(text):
+    """``"ns/cycle"`` -> frozenset({("ns", 1), ("cycle", -1)}).
+
+    Grammar: ``atom[*atom...][/atom...]`` or ``"1"``; each atom is a
+    bare dimension name.  ``"1"`` is the dimensionless ratio.
+    """
+    text = text.strip()
+    if text in ("1", "ratio", ""):
+        return SCALAR
+    dims = {}
+    num, _, rest = text.partition("/")
+    for atom in num.split("*"):
+        atom = atom.strip()
+        if atom and atom != "1":
+            dims[atom] = dims.get(atom, 0) + 1
+    if rest:
+        for atom in rest.split("/"):
+            atom = atom.strip()
+            if atom and atom != "1":
+                dims[atom] = dims.get(atom, 0) - 1
+    return frozenset((d, e) for d, e in dims.items() if e)
+
+
+def format_unit(unit):
+    """Human form of a parsed unit (``ns/cycle``, ``1``)."""
+    if not unit:
+        return "1"
+    num = sorted(d for d, e in unit if e > 0 for _ in range(e))
+    den = sorted(d for d, e in unit if e < 0 for _ in range(-e))
+    out = "*".join(num) if num else "1"
+    if den:
+        out += "/" + "/".join(den)
+    return out
+
+
+def _mul(a, b, sign=1):
+    """Product (or quotient, ``sign=-1``) of two units; None is
+    contagious (unknown stays unknown)."""
+    if a is None or b is None:
+        return None
+    dims = dict(a)
+    for d, e in b:
+        dims[d] = dims.get(d, 0) + sign * e
+    return frozenset((d, e) for d, e in dims.items() if e)
+
+
+def _pow(a, n):
+    if a is None:
+        return None
+    return frozenset((d, e * n) for d, e in a)
+
+
+def _concrete(unit):
+    """Known and dimensioned: participates in mismatch checks."""
+    return unit is not None and unit is not SCALAR and unit != SCALAR
+
+
+class UnitTable:
+    """Resolved unit annotations: fully-qualified constant names ->
+    parsed units, fully-qualified function names -> (param units,
+    return unit)."""
+
+    def __init__(self, constants=None, functions=None):
+        self.constants = {name: parse_unit(u)
+                          for name, u in (constants or {}).items()}
+        self.functions = {}
+        for name, spec in (functions or {}).items():
+            params = [None if u is None else parse_unit(u)
+                      for u in spec.get("params", ())]
+            returns = spec.get("returns")
+            self.functions[name] = (
+                params, None if returns is None else parse_unit(returns))
+
+    @classmethod
+    def from_params(cls):
+        """The repository's own table (``repro.params.UNITS``)."""
+        from repro import params
+        constants = {"repro.params.%s" % k: v
+                     for k, v in getattr(params, "UNITS", {}).items()}
+        functions = dict(getattr(params, "UNIT_FUNCTIONS", {}))
+        return cls(constants, functions)
+
+
+#: Builtins whose result keeps the unit of their (single) argument.
+_PASSTHROUGH_CALLS = frozenset(("int", "float", "round", "abs"))
+#: Builtins whose arguments must agree and whose result keeps the
+#: common unit.
+_AGREEING_CALLS = frozenset(("min", "max"))
+
+
+class _UnitChecker(ast.NodeVisitor):
+    """One module's intraprocedural unit propagation."""
+
+    def __init__(self, minfo, table):
+        self.minfo = minfo
+        self.table = table
+        self.module_env = {}
+        self.env = self.module_env      # current scope
+        self.current_fn = None          # qualified dotted name
+        self.findings = []
+
+    # -- reporting -----------------------------------------------------
+
+    def _flag(self, node, message):
+        self.findings.append({
+            "rule": "SL012", "file": self.minfo.file,
+            "line": node.lineno, "col": node.col_offset,
+            "message": message,
+            "symbol": self.current_fn or "<module>",
+        })
+
+    # -- expression units ----------------------------------------------
+
+    def unit_of(self, node):
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) and \
+                    not isinstance(node.value, bool):
+                return SCALAR
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            if node.id in self.module_env:
+                return self.module_env[node.id]
+            return self._resolve_ref(node.id)
+        if isinstance(node, ast.Attribute):
+            dotted = self.minfo.dotted_name(node)
+            if dotted is not None:
+                return self._resolve_ref(dotted)
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self.unit_of(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._binop_unit(node)
+        if isinstance(node, ast.Call):
+            return self._call_unit(node)
+        if isinstance(node, ast.IfExp):
+            a = self.unit_of(node.body)
+            b = self.unit_of(node.orelse)
+            return a if _concrete(a) else b
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return None
+        return None
+
+    def _resolve_ref(self, dotted):
+        resolved = self.minfo.resolve(dotted)
+        if resolved is None:
+            return None
+        unit = self.table.constants.get(resolved)
+        if unit is not None:
+            return unit
+        # A module-local constant of the annotated module itself.
+        return self.table.constants.get(
+            "%s.%s" % (self.minfo.module, dotted))
+
+    def _binop_unit(self, node):
+        left = self.unit_of(node.left)
+        right = self.unit_of(node.right)
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub, ast.Mod)):
+            if _concrete(left) and _concrete(right) and left != right:
+                self._flag(node, "mixing %s and %s in %s"
+                           % (format_unit(left), format_unit(right),
+                              {ast.Add: "+", ast.Sub: "-",
+                               ast.Mod: "%"}[type(op)]))
+            return left if _concrete(left) else right
+        if isinstance(op, ast.Mult):
+            if left is SCALAR:
+                return right
+            if right is SCALAR:
+                return left
+            return _mul(left, right, 1)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if right is SCALAR:
+                return left
+            if left is SCALAR and _concrete(right):
+                return _pow(right, -1)
+            return _mul(left, right, -1)
+        if isinstance(op, ast.Pow):
+            if (_concrete(left) and isinstance(node.right, ast.Constant)
+                    and isinstance(node.right.value, int)):
+                return _pow(left, node.right.value)
+            return None
+        return None
+
+    def _call_unit(self, node):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if name in _PASSTHROUGH_CALLS and len(node.args) == 1:
+            return self.unit_of(node.args[0])
+        if name in _AGREEING_CALLS and len(node.args) >= 2:
+            units = [self.unit_of(a) for a in node.args]
+            concrete = [u for u in units if _concrete(u)]
+            for u in concrete[1:]:
+                if u != concrete[0]:
+                    self._flag(node, "mixing %s and %s in %s()"
+                               % (format_unit(concrete[0]),
+                                  format_unit(u), name))
+                    break
+            return concrete[0] if concrete else None
+        dotted = self.minfo.dotted_name(func)
+        if dotted is None:
+            return None
+        resolved = self.minfo.resolve(dotted)
+        spec = self.table.functions.get(resolved)
+        if spec is None and resolved is not None:
+            spec = self.table.functions.get(
+                "%s.%s" % (self.minfo.module, dotted))
+        if spec is None:
+            return None
+        params, returns = spec
+        for i, arg in enumerate(node.args[:len(params)]):
+            declared = params[i]
+            actual = self.unit_of(arg)
+            if (_concrete(declared) and _concrete(actual)
+                    and declared != actual):
+                self._flag(arg, "argument %d of %s() wants %s, got %s"
+                           % (i + 1, dotted, format_unit(declared),
+                              format_unit(actual)))
+        return returns
+
+    # -- statement walk ------------------------------------------------
+
+    def _check_and_bind(self, targets, value):
+        unit = self.unit_of(value)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                declared = self._resolve_ref(target.id)
+                if (_concrete(declared) and _concrete(unit)
+                        and declared != unit):
+                    self._flag(value,
+                               "%s is declared %s but assigned %s"
+                               % (target.id, format_unit(declared),
+                                  format_unit(unit)))
+                self.env[target.id] = (declared if _concrete(declared)
+                                       else unit)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        self.env[elt.id] = None
+
+    def visit_Assign(self, node):
+        self._check_and_bind(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node):
+        if node.value is not None:
+            self._check_and_bind([node.target], node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node):
+        if isinstance(node.target, ast.Name):
+            synth = ast.BinOp(left=ast.Name(id=node.target.id,
+                                            ctx=ast.Load()),
+                              op=node.op, right=node.value)
+            ast.copy_location(synth, node)
+            ast.fix_missing_locations(synth)
+            self.env[node.target.id] = self._binop_unit(synth)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node):
+        units = [self.unit_of(node.left)]
+        units.extend(self.unit_of(c) for c in node.comparators)
+        concrete = [u for u in units if _concrete(u)]
+        for u in concrete[1:]:
+            if u != concrete[0]:
+                self._flag(node, "comparing %s against %s"
+                           % (format_unit(concrete[0]), format_unit(u)))
+                break
+        self.generic_visit(node)
+
+    def visit_Return(self, node):
+        if node.value is not None and self.current_fn is not None:
+            spec = self.table.functions.get(self.current_fn)
+            if spec is not None:
+                _, declared = spec
+                actual = self.unit_of(node.value)
+                if (_concrete(declared) and _concrete(actual)
+                        and declared != actual):
+                    self._flag(node, "return drops units: declared %s, "
+                                     "returning %s"
+                               % (format_unit(declared),
+                                  format_unit(actual)))
+        self.generic_visit(node)
+
+    def visit_For(self, node):
+        if isinstance(node.target, ast.Name):
+            self.env[node.target.id] = None
+        self.generic_visit(node)
+
+    def _visit_function(self, node, class_name=None):
+        outer_env, outer_fn = self.env, self.current_fn
+        qual = node.name if class_name is None \
+            else "%s.%s" % (class_name, node.name)
+        self.current_fn = "%s.%s" % (self.minfo.module, qual)
+        self.env = {}
+        spec = self.table.functions.get(self.current_fn)
+        args = node.args
+        pos = ([a.arg for a in args.posonlyargs]
+               + [a.arg for a in args.args])
+        if spec is not None:
+            params, _ = spec
+            names = pos[1:] if class_name is not None else pos
+            for name, unit in zip(names, params):
+                self.env[name] = unit
+        for stmt in node.body:
+            self.visit(stmt)
+        self.env, self.current_fn = outer_env, outer_fn
+
+    def visit_FunctionDef(self, node):
+        self._visit_function(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ClassDef(self, node):
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._visit_function(item, class_name=node.name)
+            else:
+                self.visit(item)
+
+
+def check_module(minfo, table):
+    """All SL012 findings for one indexed module (see
+    :class:`repro.verify.callgraph.ModuleInfo`)."""
+    checker = _UnitChecker(minfo, table)
+    for stmt in minfo.tree.body:
+        checker.visit(stmt)
+    return checker.findings

@@ -327,15 +327,52 @@ def test_json_report_schema(tmp_path):
     (tmp_path / "a.py").write_text("import random\nrandom.seed()\n")
     report = lint_paths([str(tmp_path)])
     data = report.as_dict()
-    assert data["version"] == 1
+    assert data["version"] == 2
     assert data["files_scanned"] == 1
     assert data["counts"] == {"SL001": 1}
     assert data["errors"] == []
+    assert data["rules"] == RULES
+    assert data["suppressed"] == {"total": 0, "counts": {}}
+    assert data["interproc_resolved"] == 0
     (v,) = data["violations"]
     assert set(v) == {"file", "line", "col", "rule", "message"}
     assert v["rule"] == "SL001"
     assert v["line"] == 2
     json.dumps(data)  # must be JSON-serializable as-is
+
+
+def test_json_report_counts_suppressions(tmp_path):
+    (tmp_path / "a.py").write_text(
+        "import random\n"
+        "x = random.random()  # silolint: disable=SL001\n"
+        "y = random.random()\n")
+    report = lint_paths([str(tmp_path)])
+    assert _codes(report) == ["SL001"]
+    data = report.as_dict()
+    assert data["suppressed"] == {"total": 1, "counts": {"SL001": 1}}
+
+
+def test_disable_file_pragma_suppresses_whole_file(tmp_path):
+    (tmp_path / "a.py").write_text(
+        "# silolint: disable-file=SL001\n"
+        "import random\n"
+        "x = random.random()\n"
+        "y = random.random()\n")
+    report = lint_paths([str(tmp_path)])
+    assert report.ok
+    assert report.suppressed_counts == {"SL001": 2}
+
+
+def test_disable_file_pragma_is_per_rule(tmp_path):
+    (tmp_path / "caches").mkdir()
+    (tmp_path / "caches" / "m.py").write_text(
+        "# silolint: disable-file=SL003\n"
+        "import random\n"
+        "bank_latency = 23\n"
+        "x = random.random()\n")
+    report = lint_paths([str(tmp_path)])
+    assert _codes(report) == ["SL001"]
+    assert report.suppressed_counts == {"SL003": 1}
 
 
 def test_violations_sorted_by_location(tmp_path):
@@ -391,6 +428,47 @@ def test_cli_list_rules(capsys):
 def test_rule_catalogue_is_complete():
     assert sorted(RULES) == ["SL001", "SL002", "SL003", "SL004", "SL005",
                              "SL006", "SL007", "SL008"]
+
+
+# ---------------------------------------------------------------------------
+# SL002 one-step interprocedural resolution via the call graph
+# ---------------------------------------------------------------------------
+
+_SL002_HELPER = (
+    "class Tally:\n"
+    "    def bump(self):\n"
+    "        self.hits += 1\n")
+
+
+def test_sl002_resolves_helper_called_from_registered_module(tmp_path):
+    (tmp_path / "helper.py").write_text(_SL002_HELPER)
+    (tmp_path / "owner.py").write_text(
+        "from helper import Tally\n"
+        "def register_stats(group):\n"
+        "    pass\n"
+        "def run(t):\n"
+        "    t.bump()\n")
+    report = lint_paths([str(tmp_path)])
+    assert report.ok
+    assert report.interproc_resolved == 1
+    assert report.as_dict()["interproc_resolved"] == 1
+
+
+def test_sl002_stays_when_caller_lacks_registry(tmp_path):
+    (tmp_path / "helper.py").write_text(_SL002_HELPER)
+    (tmp_path / "owner.py").write_text(
+        "from helper import Tally\n"
+        "def run(t):\n"
+        "    t.bump()\n")
+    report = lint_paths([str(tmp_path)])
+    assert _codes(report) == ["SL002"]
+    assert report.interproc_resolved == 0
+
+
+def test_sl002_stays_with_no_callers_at_all(tmp_path):
+    (tmp_path / "helper.py").write_text(_SL002_HELPER)
+    report = lint_paths([str(tmp_path)])
+    assert _codes(report) == ["SL002"]
 
 
 # ---------------------------------------------------------------------------
