@@ -1,6 +1,6 @@
-"""Fast-path acceptance benchmark: shadow-filter kernel throughput.
+"""Fast-path acceptance benchmark: tiered shadow-filter throughput.
 
-Two measurements on the fig10 system configurations (16 cores,
+Three measurements on the fig10 system configurations (16 cores,
 scale 64, seed 7):
 
 1. **Headline regime** -- an L1-resident stress workload (code and
@@ -9,15 +9,27 @@ scale 64, seed 7):
    measure-phase events/sec on both the shared-LLC baseline and the
    SILO private-vault organisation (locally it clears 3x; the CI gate
    absorbs runner noise).
-2. **Honest suite numbers** -- two fig10 scale-out workloads, where
-   18-40% true L1 miss rates cap any hit-batching kernel well below
-   2x (Amdahl; see DESIGN.md Sec. 2f).  These ratios are recorded,
-   not asserted: the bail-out keeps them at parity, and the point of
-   publishing them is that nobody mistakes the stress headline for a
-   suite-wide claim.
+2. **Honest suite numbers** -- the full fig10 scale-out set.  The
+   tiered kernel now stays *engaged* on every workload (combined
+   retired fraction 0.6-0.9, tier 2 catching the vault hits the
+   L1-only kernel had to bail on), where the PR-5 kernel bailed at
+   0-2% retired.  The on/off ratio, however, honestly sits at
+   0.85-0.97: server workloads are miss-bound, the true-miss
+   reference path dominates wall clock (DESIGN.md Sec. 2f), and the
+   same optimisation pass that built tier 2 also made that shared
+   miss path ~1.3-1.5x faster in absolute terms -- which raises both
+   sides of the ratio's denominator.  These ratios are recorded with
+   per-tier fractions and asserted only against a coarse regression
+   floor; the per-workload engagement (>= 50% retired on miss-bound
+   streams) is asserted for real.
+3. **Same-host seed comparison** -- the suite events/sec recorded by
+   the seed benchmark run (committed ``BENCH_fastpath.json`` history,
+   same container) next to today's, so the absolute suite speedup
+   from the miss-path work is visible and nobody mistakes the stress
+   headline for a suite-wide on/off claim.
 
-Both regimes also re-assert the only invariant that really matters:
-results with the kernel on are bit-identical to the reference loop.
+All regimes re-assert the invariant that really matters: results with
+the kernel on are bit-identical to the reference loop.
 
 Timings are medians over interleaved on/off repetitions (the host
 jitters by +-10-20%; back-to-back pairs see the same machine state).
@@ -26,6 +38,7 @@ Everything is written to ``benchmarks/results/BENCH_fastpath.json``
 """
 
 import os
+from math import prod
 from statistics import median
 
 from repro.core.systems import system_config
@@ -41,6 +54,8 @@ SEED = 7
 CHUNK = 1000
 PLAN = SamplingPlan(60_000, 20_000)
 REPS = 5
+SUITE_PLAN = SamplingPlan(20_000, 10_000)
+SUITE_REPS = 3
 
 #: Everything fits the scaled L1s (64 blocks = 0.125 MB / scale) and
 #: the zipf skew keeps the hot set resident, so the event stream is
@@ -56,7 +71,24 @@ STRESS_SPEC = WorkloadSpec(
     core=CoreParams(),
 )
 
-SUITE_WORKLOADS = ("web_search", "web_frontend")
+#: The full fig10 scale-out set (the suite the title is about).
+SUITE_WORKLOADS = ("web_search", "data_serving", "web_frontend",
+                   "mapreduce", "sat_solver")
+
+#: Suite reference-loop events/sec recorded by the seed benchmark on
+#: this same container (committed BENCH_fastpath.json before this PR;
+#: the seed suite covered two workloads).  Only comparable on the
+#: recording host -- the vs_seed block is provenance, never a gate.
+SEED_SUITE_EPS_OFF = {"web_search": 532_557, "web_frontend": 869_521}
+
+#: Every suite workload is miss-bound by the paper's standards (>= 10%
+#: true L1 miss rate at scale 64); the engagement gate applies to all.
+RETIRED_FRACTION_FLOOR = 0.5
+
+#: Coarse on/off regression canary for the suite: the engaged tiered
+#: kernel measures 0.85-0.97x locally (see module docstring); a drop
+#: below this floor means the kernel machinery regressed, not jitter.
+SUITE_SPEEDUP_FLOOR = 0.6
 
 
 def _measure(config, spec, plan, reps):
@@ -87,7 +119,11 @@ def test_fastpath_speedup(bench_extra, write_bench):
               "chunk": CHUNK, "reps": REPS,
               "plan": {"warmup_events": PLAN.warmup_events,
                        "measure_events": PLAN.measure_events},
-              "stress": {}, "suite": {}}
+              "suite_plan": {
+                  "warmup_events": SUITE_PLAN.warmup_events,
+                  "measure_events": SUITE_PLAN.measure_events,
+                  "reps": SUITE_REPS},
+              "stress": {}, "suite": {}, "vs_seed": {}}
 
     stress_ratios = {}
     for name in ("baseline", "silo"):
@@ -107,25 +143,45 @@ def test_fastpath_speedup(bench_extra, write_bench):
                 filt.retired_events / filt.total_events, 4),
         }
 
-    # Honest fig10-suite ratios: parity is the expected outcome (the
-    # kernel bails on miss-bound streams); recorded, never asserted.
-    suite_plan = SamplingPlan(20_000, 10_000)
+    # Full fig10 suite: the tiered kernel stays engaged (per-tier
+    # fractions recorded per workload); the on/off ratio is recorded
+    # with only a coarse regression floor -- see the module docstring
+    # for why parity-ish is the honest outcome here.
+    suite_ratios = {}
     for wl in SUITE_WORKLOADS:
         spec = SCALEOUT_WORKLOADS[wl]
         config = system_config("silo", num_cores=NUM_CORES,
                                scale=SCALE)
         eps_on, eps_off, (fast, slow) = _measure(
-            config, spec, suite_plan, 3)
+            config, spec, SUITE_PLAN, SUITE_REPS)
         assert _identical(fast, slow)
-        filt = fast.system.shadow_filter
+        summary = fast.system.shadow_filter.summary()
+        ratio = eps_on / eps_off
+        suite_ratios[wl] = ratio
         record["suite"][wl] = {
             "events_per_sec_on": round(eps_on),
             "events_per_sec_off": round(eps_off),
-            "speedup": round(eps_on / eps_off, 3),
-            "bailed": filt.bailed,
-            "retired_fraction": round(
-                filt.retired_events / max(filt.total_events, 1), 4),
+            "speedup": round(ratio, 3),
+            "bailed": summary["bailed"],
+            "bail_reason": summary["bail_reason"],
+            "retired_fraction": round(summary["retired_fraction"], 4),
+            "retired_fraction_t1": round(
+                summary["retired_fraction_t1"], 4),
+            "retired_fraction_t2": round(
+                summary["retired_fraction_t2"], 4),
+            "mean_streak": round(summary["mean_streak"], 2),
         }
+        if wl in SEED_SUITE_EPS_OFF:
+            seed_eps = SEED_SUITE_EPS_OFF[wl]
+            record["vs_seed"][wl] = {
+                "seed_events_per_sec_off": seed_eps,
+                "events_per_sec_off": round(eps_off),
+                "events_per_sec_on": round(eps_on),
+                "off_vs_seed": round(eps_off / seed_eps, 3),
+                "on_vs_seed": round(eps_on / seed_eps, 3),
+            }
+    record["suite_geomean_speedup"] = round(
+        prod(suite_ratios.values()) ** (1 / len(suite_ratios)), 3)
 
     write_bench("BENCH_fastpath.json", record)
     bench_extra({"fastpath": record})
@@ -136,11 +192,27 @@ def test_fastpath_speedup(bench_extra, write_bench):
               % (name, r["events_per_sec_off"], r["events_per_sec_on"],
                  r["speedup"], 100 * r["retired_fraction"]))
     for wl, r in record["suite"].items():
-        print("suite   %-12s %8d -> %8d ev/s  (%.2fx, bailed=%s)"
+        print("suite   %-12s %8d -> %8d ev/s  (%.2fx, retired "
+              "%.1f%% = t1 %.1f%% + t2 %.1f%%, bailed=%s)"
               % (wl, r["events_per_sec_off"], r["events_per_sec_on"],
-                 r["speedup"], r["bailed"]))
+                 r["speedup"], 100 * r["retired_fraction"],
+                 100 * r["retired_fraction_t1"],
+                 100 * r["retired_fraction_t2"], r["bailed"]))
+    for wl, r in record["vs_seed"].items():
+        print("vs_seed %-12s %8d -> %8d ev/s off (%.2fx vs seed)"
+              % (wl, r["seed_events_per_sec_off"],
+                 r["events_per_sec_off"], r["off_vs_seed"]))
 
     # The headline gate: >= 2x on both organisations (locally ~3x;
     # the slack absorbs shared-runner noise).
     assert stress_ratios["baseline"] >= 2.0
     assert stress_ratios["silo"] >= 2.0
+    # The engagement gate: the tiered kernel must retire >= 50% of the
+    # stream on every (miss-bound) fig10 workload instead of bailing.
+    for wl, r in record["suite"].items():
+        assert not r["bailed"], wl
+        assert r["retired_fraction"] >= RETIRED_FRACTION_FLOOR, (
+            wl, r["retired_fraction"])
+    # The regression canary: engaged parity-ish, never a collapse.
+    for wl, ratio in suite_ratios.items():
+        assert ratio >= SUITE_SPEEDUP_FLOOR, (wl, ratio)

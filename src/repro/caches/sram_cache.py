@@ -111,15 +111,14 @@ class SetAssocCache:
             if shadow is not None:
                 shadow.note(block, state, entries)
             return None
+        vblock = None
         victim = None
         if len(entries) >= self.ways:
             vblock = self.policy.victim(entries)
             victim = (vblock, entries.pop(vblock))
-            if shadow is not None:
-                shadow.drop(vblock)
         entries[block] = state
         if shadow is not None:
-            shadow.note(block, state, entries)
+            shadow.fill(block, state, entries, vblock)
         return victim
 
     def insert_cold(self, block, state):
@@ -131,12 +130,11 @@ class SetAssocCache:
         if block in entries:
             return None
         shadow = self.shadow
+        vblock = None
         victim = None
         if len(entries) >= self.ways:
             vblock = self.policy.victim(entries)
             victim = (vblock, entries.pop(vblock))
-            if shadow is not None:
-                shadow.drop(vblock)
         # rebuild with the new block in front (dict order = LRU order);
         # the dict object survives, so shadow references stay valid
         old = list(entries.items())
@@ -145,7 +143,7 @@ class SetAssocCache:
         for k, v in old:
             entries[k] = v
         if shadow is not None:
-            shadow.note(block, state, entries)
+            shadow.fill(block, state, entries, vblock)
         return victim
 
     def invalidate(self, block):

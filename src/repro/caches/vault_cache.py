@@ -18,7 +18,8 @@ class VaultCache:
     """A direct-mapped vault of 64-byte TAD blocks."""
 
     __slots__ = ("size_bytes", "block_bytes", "num_sets", "tags",
-                 "states", "resident")
+                 "states", "resident", "shadow", "holder_map",
+                 "holder_bit")
 
     def __init__(self, size_bytes, block_bytes=BLOCK_BYTES):
         if size_bytes <= 0 or size_bytes % block_bytes != 0:
@@ -30,6 +31,17 @@ class VaultCache:
         self.tags = [-1] * self.num_sets     # -1 == invalid
         self.states = [0] * self.num_sets
         self.resident = 0                    # valid sets (O(1) occupancy)
+        # Optional repro.sim.fastpath.VaultShadow: every content
+        # mutation (insert, evict, state change, invalidate, clear)
+        # notifies it -- the tier-2 vault-hit kernel's safe-set
+        # invariant depends on no mutation bypassing these methods.
+        self.shadow = None
+        # Optional DupTagDirectory residency index (block -> core
+        # bitmask) this vault keeps current; ``holder_bit`` is this
+        # core's bit.  Set by the directory, validated by its
+        # ``check_consistent``.
+        self.holder_map = None
+        self.holder_bit = 0
 
     @property
     def capacity_blocks(self):
@@ -53,6 +65,8 @@ class VaultCache:
         if self.tags[s] != block:
             raise KeyError("block %d not resident in vault" % block)
         self.states[s] = state
+        if self.shadow is not None:
+            self.shadow.note(block, state)
 
     def insert(self, block, state):
         """Fill a block; returns the evicted (victim_block, victim_state)
@@ -67,6 +81,20 @@ class VaultCache:
             victim = (old_tag, self.states[s])
         self.tags[s] = block
         self.states[s] = state
+        hm = self.holder_map
+        if hm is not None:
+            bit = self.holder_bit
+            if victim is not None:
+                vb = victim[0]
+                left = hm[vb] & ~bit
+                if left:
+                    hm[vb] = left
+                else:
+                    del hm[vb]
+            hm[block] = hm.get(block, 0) | bit
+        if self.shadow is not None:
+            self.shadow.fill(block, state,
+                             None if victim is None else victim[0])
         return victim
 
     def invalidate(self, block):
@@ -76,6 +104,15 @@ class VaultCache:
             self.tags[s] = -1
             self.states[s] = 0
             self.resident -= 1
+            hm = self.holder_map
+            if hm is not None:
+                left = hm[block] & ~self.holder_bit
+                if left:
+                    hm[block] = left
+                else:
+                    del hm[block]
+            if self.shadow is not None:
+                self.shadow.drop(block)
             return state
         return None
 
@@ -107,6 +144,19 @@ class VaultCache:
         return self.resident
 
     def clear(self):
+        hm = self.holder_map
+        if hm is not None:
+            bit = self.holder_bit
+            for tag in self.tags:
+                if tag == -1:
+                    continue
+                left = hm[tag] & ~bit
+                if left:
+                    hm[tag] = left
+                else:
+                    del hm[tag]
         self.tags = [-1] * self.num_sets
         self.states = [0] * self.num_sets
         self.resident = 0
+        if self.shadow is not None:
+            self.shadow.wipe()

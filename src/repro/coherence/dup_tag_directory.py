@@ -31,6 +31,22 @@ class DupTagDirectory:
         # Physical ways currently known corrupt, keyed (set, way) -> True.
         # A dict rather than a set keeps iteration order deterministic.
         self._corrupt = {}
+        # Residency index: block -> bitmask of caching cores.  The
+        # directory content is still *exactly* the vault tag arrays;
+        # this index only inverts them so the per-miss holder probe is
+        # O(holders) instead of O(cores).  The vaults keep it current
+        # from their mutation methods (``holder_map``/``holder_bit``),
+        # and ``check_consistent`` re-derives it to prove no drift.
+        self._holders = {}
+        for c, v in enumerate(vaults):
+            v.holder_map = self._holders
+            v.holder_bit = 1 << c
+            if not v.resident:
+                continue  # cold vault: nothing to index (common case)
+            for s, tag in enumerate(v.tags):
+                if tag != -1:
+                    self._holders[tag] = (self._holders.get(tag, 0)
+                                          | (1 << c))
 
     def home_node(self, block):
         """Node whose vault physically stores this block's directory set."""
@@ -43,21 +59,37 @@ class DupTagDirectory:
         return block % self.num_sets
 
     def sharers(self, block):
-        """Cores whose vaults currently cache ``block`` (reads all N
-        logical ways of the directory set, as the paper describes)."""
-        s = self.set_index(block)
-        return [c for c, v in enumerate(self.vaults) if v.tags[s] == block]
+        """Cores whose vaults currently cache ``block`` (logically a
+        read of all N directory ways; served from the residency
+        index)."""
+        mask = self._holders.get(block, 0)
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
 
     def holder_states(self, block):
-        """List of (core, state) pairs for vaults caching the block."""
-        s = self.set_index(block)
-        return [(c, v.states[s]) for c, v in enumerate(self.vaults)
-                if v.tags[s] == block]
+        """List of (core, state) pairs for vaults caching the block,
+        in ascending core order (the index walks bits LSB-first, so
+        tie-breaks match the old full-scan exactly)."""
+        mask = self._holders.get(block, 0)
+        if not mask:
+            return []
+        s = block % self.num_sets
+        vaults = self.vaults
+        out = []
+        while mask:
+            low = mask & -mask
+            c = low.bit_length() - 1
+            out.append((c, vaults[c].states[s]))
+            mask ^= low
+        return out
 
     def is_cached(self, block):
         """True when any vault caches ``block``."""
-        s = self.set_index(block)
-        return any(v.tags[s] == block for v in self.vaults)
+        return block in self._holders
 
     def entry(self, block, core):
         """The directory entry (tag, state) at way ``core`` of the
@@ -156,6 +188,22 @@ class DupTagDirectory:
                     raise AssertionError(
                         "directory way %d disagrees with vault %d for "
                         "block %d" % (c, c, tag))
+        rebuilt = {}
+        for c, v in enumerate(self.vaults):
+            for tag in v.tags:
+                if tag != -1:
+                    rebuilt[tag] = rebuilt.get(tag, 0) | (1 << c)
+            if v.holder_map is not self._holders:
+                raise AssertionError(
+                    "vault %d no longer feeds this directory's "
+                    "residency index" % c)
+        if rebuilt != self._holders:
+            drift = set(rebuilt.items()) ^ set(self._holders.items())
+            raise AssertionError(
+                "residency index drifted from the vault tag arrays "
+                "(%d divergent entr%s, first: %r)"
+                % (len(drift), "y" if len(drift) == 1 else "ies",
+                   next(iter(sorted(drift)))))
         return True
 
     def storage_bits_per_entry(self, tag_bits=28, state_bits=3):

@@ -58,10 +58,18 @@ class ClosedPageController:
         stall = 0.0
         if self.faults is not None:
             stall = self.faults.channel_stall(self.bank_busy_cycles)
-        rho = self.utilization()
+        # utilization() inlined: this runs once per memory access and
+        # the extra call frame was measurable on miss-bound workloads.
+        busy = self.bank_busy_cycles
+        elapsed = self._latest_now - self._window_start
+        if elapsed <= 0:
+            return stall
+        rho = busy * self.accesses / (self.num_banks * elapsed)
+        if rho > self.MAX_UTILIZATION:
+            rho = self.MAX_UTILIZATION
         if rho <= 0:
             return stall
-        wait = self.bank_busy_cycles * rho / (2.0 * (1.0 - rho))
+        wait = busy * rho / (2.0 * (1.0 - rho))
         if wait >= 1.0:
             self.conflicts += 1
         return wait + stall

@@ -37,6 +37,11 @@ class Mesh2D:
         corners = {0, self.side - 1,
                    num_nodes - self.side, num_nodes - 1}
         self.memory_ports = sorted(corners)
+        # Nearest-port LUT: the mapping is pure topology, and the min
+        # scan sat on the miss path (one lookup per memory access).
+        self._nearest = [min(self.memory_ports,
+                             key=lambda p: self._hops[n][p])
+                         for n in range(num_nodes)]
         self.link_traversals = 0
 
     def hops(self, src, dst):
@@ -56,7 +61,7 @@ class Mesh2D:
 
     def nearest_memory_port(self, node):
         """Tile of the closest memory controller to ``node``."""
-        return min(self.memory_ports, key=lambda p: self._hops[node][p])
+        return self._nearest[node]
 
     def latency_to_memory(self, node):
         """One-way latency from ``node`` to its nearest memory port."""

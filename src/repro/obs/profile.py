@@ -70,7 +70,9 @@ class Profiler:
         self.driven_events = 0
         #: Fastpath retired-vs-bailed accounting across observed runs.
         self.fastpath = {"runs": 0, "retired_events": 0,
-                         "slow_events": 0, "streaks": 0, "bails": 0}
+                         "tier1_retired": 0, "tier2_retired": 0,
+                         "slow_events": 0, "streaks": 0, "bails": 0,
+                         "bail_reasons": []}
 
     # -- region entry ---------------------------------------------------
 
@@ -131,16 +133,21 @@ class Profiler:
         fp = self.fastpath
         fp["runs"] += 1
         fp["retired_events"] += summary.get("retired_events", 0)
+        fp["tier1_retired"] += summary.get("tier1_retired", 0)
+        fp["tier2_retired"] += summary.get("tier2_retired", 0)
         fp["slow_events"] += summary.get("slow_events", 0)
         fp["streaks"] += summary.get("streaks", 0)
         # bails are counted live through the on_bail hook installed by
         # instrument() -- counting summary["bailed"] too would double.
 
-    def note_bail(self):
+    def note_bail(self, reason=None):
         """Hook for :meth:`repro.sim.fastpath.ShadowFilter.bail`
         (installed by :func:`instrument`): count a mid-run bail-out the
-        moment it happens, not just in the end-of-run summary."""
+        moment it happens, not just in the end-of-run summary, and keep
+        the diagnosable reason (tier, observed fraction, threshold)."""
         self.fastpath["bails"] += 1
+        if reason is not None:
+            self.fastpath["bail_reasons"].append(reason)
 
     # -- lifecycle / report --------------------------------------------
 
@@ -225,12 +232,16 @@ def render_report(report):
                         r["calls"]))
     fp = report["fastpath"]
     if fp["runs"]:
-        lines.append("# fastpath: %d events retired, %d slow "
-                     "(%.1f%% retired), %d streaks, %d bails over "
-                     "%d runs"
-                     % (fp["retired_events"], fp["slow_events"],
+        lines.append("# fastpath: %d events retired (%d tier-1, "
+                     "%d tier-2), %d slow (%.1f%% retired), "
+                     "%d streaks, %d bails over %d runs"
+                     % (fp["retired_events"],
+                        fp.get("tier1_retired", 0),
+                        fp.get("tier2_retired", 0), fp["slow_events"],
                         100.0 * fp["retired_fraction"], fp["streaks"],
                         fp["bails"], fp["runs"]))
+        for reason in fp.get("bail_reasons", ()):
+            lines.append("#   bail: %r" % (reason,))
     return "\n".join(lines)
 
 
@@ -281,7 +292,10 @@ def instrument(profiler, system):
     filt = kernel_for(system)
     if filt is not None:
         _wrap_attr(profiler, filt, "retire_chunk", "fastpath")
-        filt.on_bail = profiler.note_bail
+        # The bail hook is zero-arg by contract; close over the filter
+        # so the profiler also captures the diagnosable reason.
+        filt.on_bail = (lambda f=filt:
+                        profiler.note_bail(f.bail_reason))
 
 
 def trace_events(report, pid=1):

@@ -137,6 +137,8 @@ class TelemetrySampler:
         self._last_events = 0
         sf = self.system.shadow_filter
         self._last_retired = sf.retired_events if sf is not None else 0
+        self._last_t1 = sf.tier1_retired if sf is not None else 0
+        self._last_t2 = sf.tier2_retired if sf is not None else 0
         self._t0 = clock()
         self._last_t = self._t0
 
@@ -217,6 +219,8 @@ class TelemetrySampler:
                            if k.startswith("system.faults."))
         sf = system.shadow_filter
         retired = sf.retired_events if sf is not None else 0
+        t1 = sf.tier1_retired if sf is not None else 0
+        t2 = sf.tier2_retired if sf is not None else 0
         self.windows.append({
             "index": len(self.windows),
             "events": driven,
@@ -237,8 +241,18 @@ class TelemetrySampler:
             "fastpath_retired_fraction": (
                 (retired - self._last_retired) / wevents
                 if wevents else 0.0),
+            "fastpath_retired_fraction_t1": (
+                (t1 - self._last_t1) / wevents if wevents else 0.0),
+            "fastpath_retired_fraction_t2": (
+                (t2 - self._last_t2) / wevents if wevents else 0.0),
             "fastpath_bailed": bool(sf.bailed) if sf is not None
             else False,
+            # Diagnosable bail-outs: the tier that was available, the
+            # observed per-tier fractions over probation, and the
+            # threshold missed -- None while the kernel is running
+            # (or when there is no kernel).
+            "fastpath_bail_reason": (sf.bail_reason
+                                     if sf is not None else None),
             "per_core": per_core,
             "vault_occupancy": system.occupancy_by_bank(),
             "vault_traffic": vault_traffic,
@@ -246,6 +260,8 @@ class TelemetrySampler:
         self._last = cur
         self._last_events = driven
         self._last_retired = retired
+        self._last_t1 = t1
+        self._last_t2 = t2
         self._last_t = now
 
     def finish(self, driven):
@@ -301,6 +317,10 @@ def export_prometheus(samplers):
         "noc_hops_per_event": "NoC link traversals per driven event",
         "fastpath_retired_fraction":
             "events retired in bulk by the fastpath kernel",
+        "fastpath_retired_fraction_t1":
+            "events retired as trivial L1 hits (tier 1)",
+        "fastpath_retired_fraction_t2":
+            "events retired as local vault/NUCA hits (tier 2)",
         "fault_events": "fault events observed in the latest window",
         "windows_total": "telemetry windows recorded",
         "phases_total": "phases detected on the windowed miss rate",
@@ -335,6 +355,10 @@ def export_prometheus(samplers):
         emit("noc_hops_per_event", rl, w["noc_hops_per_event"])
         emit("fastpath_retired_fraction", rl,
              w["fastpath_retired_fraction"])
+        emit("fastpath_retired_fraction_t1", rl,
+             w["fastpath_retired_fraction_t1"])
+        emit("fastpath_retired_fraction_t2", rl,
+             w["fastpath_retired_fraction_t2"])
         emit("fault_events", rl, w["fault_events"])
         for core, pc in enumerate(w["per_core"]):
             emit("core_miss_rate", rl + (("core", core),),

@@ -66,9 +66,8 @@ def use_chunk(chunk):
         _chunk_override = prev
 
 
-def _decoded_lanes(trace, params):
-    """Pre-decoded event lanes of one trace, memoized on the trace
-    object (keyed by the CoreParams that shaped them): the write and
+class EventLanes:
+    """First-class pre-decoded event lanes of one trace: the write and
     ifetch flags split out, the stall-time multiplier
     (ifetch_stall_factor for ifetches, 1/mlp for data) resolved per
     event, the fast-path event-key lane (``block << 2 | flags``, see
@@ -77,42 +76,92 @@ def _decoded_lanes(trace, params):
 
     The decode is vectorized with numpy and done once per
     trace+params; warmup and measure phases -- and any later run over
-    the same trace -- reuse it.  The hot loops index plain Python
-    lists (``tolist()``), which CPython reads faster than numpy
-    scalars.  Values are bit-identical to the original per-event
-    ``iff if fl & 2 else inv_mlp`` decode: both multiplier operands
-    are the same two Python floats either way."""
+    the same trace -- reuse it (memoized on the trace by
+    :func:`_decoded_lanes`).  The hot loops index plain Python lists
+    (``tolist()``), which CPython reads faster than numpy scalars.
+    Values are bit-identical to the original per-event ``iff if fl & 2
+    else inv_mlp`` decode: both multiplier operands are the same two
+    Python floats either way.
+
+    The numpy block and multiplier arrays are kept alongside the list
+    lanes so tier-2 timing lanes (:meth:`tier2_lanes`) can be derived
+    vectorized on demand.
+    """
+
+    __slots__ = ("blocks", "writes", "ifetches", "lat_mul", "keys",
+                 "if_prefix", "blocks_arr", "lat_mul_arr", "_tier2")
+
+    def __init__(self, trace, params):
+        flags = np.asarray(trace.flags, dtype=np.int64)
+        blocks_arr = np.asarray(trace.blocks, dtype=np.int64)
+        inv_mlp = 1.0 / params.mlp
+        iff = params.ifetch_stall_factor
+        ifetch_bits = flags & 2
+        if_prefix = np.zeros(len(flags) + 1, dtype=np.int64)
+        np.cumsum(ifetch_bits, out=if_prefix[1:])
+        lat_mul_arr = np.where(ifetch_bits != 0, iff, inv_mlp)
+        self.blocks = trace.blocks
+        self.writes = (flags & 1).tolist()
+        self.ifetches = ifetch_bits.tolist()
+        self.lat_mul = lat_mul_arr.tolist()
+        self.keys = ((blocks_arr << 2) | (flags & 3)).tolist()
+        self.if_prefix = if_prefix.tolist()
+        self.blocks_arr = blocks_arr
+        self.lat_mul_arr = lat_mul_arr
+        self._tier2 = {}
+
+    def tier2_lanes(self, token, lat_lut, hop_lut, num_banks,
+                    const_lat):
+        """Per-event tier-2 timing lanes (lat, stall, hops), built
+        vectorized and memoized under ``token`` (which encodes the
+        tier-2 latency geometry, so distinct systems sharing a trace
+        never mix lanes).
+
+        Vault tier (constant local-hit latency): only the stall lane
+        exists -- ``const_lat * lat_mul`` per event, computed in
+        float64, the *identical* IEEE multiply the reference loop's
+        ``lat * lat_mul[i]`` performs.
+
+        NUCA tier: the home bank is ``block % num_banks``; the lat and
+        hop lanes gather per-core bank LUTs (mesh round trip + bank
+        access, and the hop count the reference's ``mesh.round_trip``
+        adds to ``link_traversals``)."""
+        got = self._tier2.get(token)
+        if got is None:
+            if lat_lut is None:
+                got = (None,
+                       (const_lat * self.lat_mul_arr).tolist(),
+                       None)
+            else:
+                banks = self.blocks_arr % num_banks
+                lat = lat_lut[banks]
+                got = (lat.tolist(),
+                       (lat * self.lat_mul_arr).tolist(),
+                       hop_lut[banks].tolist())
+            self._tier2[token] = got
+        return got
+
+
+def _decoded_lanes(trace, params):
+    """The trace's :class:`EventLanes`, memoized on the trace object
+    (keyed by the CoreParams that shaped them)."""
     cached = getattr(trace, "cached_lanes", None)
     if cached is not None and cached[0] == params:
         return cached[1]
-    flags = np.asarray(trace.flags, dtype=np.int64)
-    blocks = np.asarray(trace.blocks, dtype=np.int64)
-    inv_mlp = 1.0 / params.mlp
-    iff = params.ifetch_stall_factor
-    ifetch_bits = flags & 2
-    if_prefix = np.zeros(len(flags) + 1, dtype=np.int64)
-    np.cumsum(ifetch_bits, out=if_prefix[1:])
-    lanes = ((flags & 1).tolist(), ifetch_bits.tolist(),
-             np.where(ifetch_bits != 0, iff, inv_mlp).tolist(),
-             ((blocks << 2) | (flags & 3)).tolist(),
-             if_prefix.tolist())
+    lanes = EventLanes(trace, params)
     trace.cached_lanes = (params, lanes)
     return lanes
 
 
 def _per_core_state(system, traces):
-    """Per-core hot-loop state: core id, the block lane, the decoded
-    flag/multiplier/key lanes (see :func:`_decoded_lanes`) and the
-    cycles retired per event, so ``_drive`` does no per-event flag
-    tests or attribute lookups."""
+    """Per-core hot-loop state: core id, the cycles retired per event
+    and the decoded :class:`EventLanes`, so ``_drive`` does no
+    per-event flag tests or attribute lookups."""
     out = []
     for tr in traces:
         p = system.cores[tr.core_id].params
-        writes, ifetches, lat_mul, keys, if_prefix = _decoded_lanes(tr, p)
-        out.append((
-            tr.core_id, tr.blocks, writes, ifetches, lat_mul,
-            tr.instr_per_event * p.base_cpi, keys, if_prefix,
-        ))
+        out.append((tr.core_id, tr.instr_per_event * p.base_cpi,
+                    _decoded_lanes(tr, p)))
     return out
 
 
@@ -123,11 +172,12 @@ def _drive(system, per_core, starts, ends, times, chunk, sampler=None):
     have different lengths).
 
     When the system qualifies (repro.sim.fastpath), runs of
-    guaranteed-trivial L1 hits are retired in bulk by the shadow-filter
-    kernel and only the remaining events call ``System.access``;
-    results are bit-identical either way.  ``system.measuring`` is
-    hoisted per drive: it only changes between phases (prefetcher
-    configs flip it mid-access, but those disqualify the kernel).
+    guaranteed-trivial L1 hits and local vault/NUCA-bank hits are
+    retired by the tiered shadow-filter kernel and only the remaining
+    events call ``System.access``; results are bit-identical either
+    way.  ``system.measuring`` is hoisted per drive: it only changes
+    between phases (prefetcher configs flip it mid-access, but those
+    disqualify the kernel).
 
     ``sampler`` is an optional
     :class:`repro.obs.telemetry.TelemetrySampler` ticked once per
@@ -142,13 +192,16 @@ def _drive(system, per_core, starts, ends, times, chunk, sampler=None):
     remaining = sum(e - s for s, e in zip(starts, ends))
     total = remaining
     while remaining > 0:
-        for idx, (core, blocks, writes, ifetches, lat_mul, cpi_ev,
-                  keys, if_prefix) in enumerate(per_core):
+        for idx, (core, cpi_ev, lanes) in enumerate(per_core):
             pos = positions[idx]
             hi = min(pos + chunk, ends[idx])
             if pos >= hi:
                 continue
             if retire is None:
+                blocks = lanes.blocks
+                writes = lanes.writes
+                ifetches = lanes.ifetches
+                lat_mul = lanes.lat_mul
                 t = times[core]
                 for i in range(pos, hi):
                     lat = access(core, blocks[i], writes[i], ifetches[i],
@@ -158,10 +211,8 @@ def _drive(system, per_core, starts, ends, times, chunk, sampler=None):
                         t += lat * lat_mul[i]
                 times[core] = t
             else:
-                times[core] = retire(core, blocks, writes, ifetches,
-                                     lat_mul, cpi_ev, keys, if_prefix,
-                                     pos, hi, times[core], access,
-                                     measuring)
+                times[core] = retire(core, lanes, cpi_ev, pos, hi,
+                                     times[core], access, measuring)
                 if kernel.bailed:
                     retire = None
             remaining -= hi - pos
@@ -359,6 +410,16 @@ def run_system(system, traces, warmup_events, measure_events,
     times = [0.0] * system.num_cores
     per_core = _per_core_state(system, traces)
     system.measuring = False
+    kernel = kernel_for(system)
+    if kernel is not None:
+        # The prewarm prefix touches each block once by design -- a
+        # retired fraction measured over it says nothing about the
+        # workload proper, so it must not count toward the kernel's
+        # bail-out probation.  (The drive structure itself is shared
+        # with the kernel-off path: interleave boundaries are part of
+        # the reference results.)
+        kernel.set_probation_floor(
+            {tr.core_id: tr.prewarm_events for tr in traces})
     t0 = clock()
     with (profiler.region("warmup") if profiler is not None
           else nullcontext()):

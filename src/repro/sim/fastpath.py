@@ -1,14 +1,21 @@
-"""Batched L1-hit fast path: a shadow-filter event kernel.
+"""Batched event fast path: a tiered shadow-filter kernel.
 
 ``_drive`` (repro.sim.driver) normally pays a full Python call into
-``System.access`` for every reference -- including the ~90%+ that are
-trivial L1 hits in a warm cache.  This module collapses those runs of
-guaranteed-trivial events into a tight loop with no calls, no flag
+``System.access`` for every reference.  This module collapses the
+guaranteed-trivial ones into tight loops with no calls, no flag
 decoding and no per-event counter bumps, while staying *bit-identical*
-to the reference loop.
+to the reference loop.  Two retirement tiers cover the two regimes the
+paper cares about:
 
-Safe-set invariant
-------------------
+* **Tier 1 -- L1 hits** (PR 5): runs of trivial L1 hits, the ~90%+ of
+  events on cache-resident streams.
+* **Tier 2 -- vault / NUCA-bank hits**: the *L1-miss-but-LLC-hit*
+  events that dominate the paper's scale-out suite (server working
+  sets live in the stacked-DRAM tier, Sec. II), retired per event
+  without the ``System.access`` walk.
+
+Tier-1 safe-set invariant
+-------------------------
 Per core, a single ``safe_map`` dict holds every event key that is
 guaranteed to be a trivial L1 hit.  An event key fuses the block
 number with the event kind -- ``block << 2 | kind`` where kind 0 is a
@@ -26,63 +33,113 @@ kernel can classify a whole chunk with a single C-level
 * ``block << 2 | 2`` (L1-I): block resident; ifetches never write, so
   residency alone makes them safe.
 
-The invariant is *soundness only*: a key missing from the map merely
-falls back to the slow path (which IS the reference path), but a stale
-entry would corrupt results.  Every L1 mutation therefore notifies the
-view -- ``SetAssocCache.insert/insert_cold/update/invalidate/clear``
-carry the hooks, and ``System`` only ever mutates L1 contents through
-those methods (verified by ``tests/test_fastpath.py`` and, at runtime,
-by ``REPRO_FASTPATH=verify``).
+Tier-2 safe-set invariant
+-------------------------
+A second map (``safe2``) keys the events that are guaranteed to be
+*local-LLC hits* whose side effects the kernel can replay exactly.
+Tier 2 is probed only after tier 1 misses, so a tier-2 hit implies the
+block is not L1-resident (for that kind) -- which is what makes the
+reference path predictable.
 
-Mapping each key to the *set dict itself* (not a boolean) fuses the
-membership test with the recency update: after a streak is accepted
-the kernel replays the exact ``del entries[block]; entries[block] =
-state`` reorder that ``SetAssocCache.lookup`` performs, so later
-eviction victims are unchanged.  Because retired events cannot insert
-or evict, only the *last* touch of each distinct key matters, and the
-replay deduplicates a streak down to one move per distinct key (a
-reversed ``dict.fromkeys``, again C-level).  Timing stays exact
-because the clock advances through the *same sequence* of ``t +=
-cpi_ev`` float additions as the reference loop, drained through a
-C-level ``itertools.accumulate`` -- float addition is not
-associative, so a bulk ``t += k * cpi_ev`` would *not* be
-bit-identical.
+SILO (one ``safe2`` per core, value = the vault coherence state):
+
+* read / ifetch keys: block resident in the core's vault, any state.
+  The reference path is ``vault.lookup`` -> ``llc_latency``, one
+  ``llc_accesses`` bump, and an L1 fill with the vault state.
+* write keys: vault state MODIFIED only.  Writes on E run the silent
+  upgrade, on S/O the peer-invalidation machinery -- both stay slow.
+  Soundness leans on a protocol invariant (asserted in verify mode):
+  without an L2, whenever L1-D and vault both hold a block their
+  states are equal, so a write reaching the tier-2 probe (tier-1 miss
+  = no L1-D line in M) cannot be an L1 write-upgrade in disguise.
+
+Shared NUCA (one system-wide ``safe2``, value = the home bank's set
+dict, which doubles as the LRU-replay handle):
+
+* ifetch keys: block resident in its home bank.
+* read keys: additionally no L1 owner (an owned block -- even a clean
+  E grant -- takes the owner-forward path).
+* write keys: additionally no sharers at all (any sharer makes the
+  fill run peer invalidations).
+
+The maps are *soundness only*: a missing key merely falls back to the
+slow path (which IS the reference path), but a stale entry would
+corrupt results.  Every mutation therefore notifies a view --
+``SetAssocCache`` (L1s and NUCA banks), ``VaultCache`` and
+``SharerTable`` all carry hooks, and ``System`` only ever mutates
+their contents through those methods (verified by
+``tests/test_fastpath.py`` and, at runtime, by
+``REPRO_FASTPATH=verify``).
+
+Bit-exactness rules
+-------------------
+Integer counters commute, so the kernel batches them and flushes per
+chunk.  Float accumulators do not (IEEE addition is order-sensitive):
+the clock advances through the *same sequence* of ``t += cpi_ev`` /
+``t += lat * lat_mul`` additions as the reference loop (long tier-1
+streaks drain through a C-level ``itertools.accumulate``), and
+latency sums / histograms are updated per retired tier-2 event in
+order.  Tier-2 stall terms are precomputed as a vectorized lane
+(``lat * lat_mul`` in float64, the identical IEEE operation) by
+:meth:`repro.sim.driver.EventLanes.tier2_lanes`.  Tier-2 retirement
+does mutate L1 state (fills, evictions), so *pre-classifying* a span
+of events is impossible beyond tier 1 -- the mixed regime dispatches
+per event, while long tier-1 streaks still use the wide batch scan.
 
 Disqualification and bail-out
 -----------------------------
 Prefetchers, fault injection, event tracing and sharing classification
-all hang per-event side effects off the L1-hit path, so any of them
+all hang per-event side effects off the hit paths, so any of them
 disables the kernel for the whole system (``kernel_for`` returns None)
 and those configurations run the reference loop byte-for-byte.
-Miss-bound workloads (the paper's LLC-stressing scale-out suite
-included) additionally make the kernel *bail out* at runtime: short
-safe streaks cannot amortize the batch scan, so after a probation
-window the filter detaches itself and the run continues on the
-reference loop (see :class:`ShadowFilter`).  Bailing, like every
-other kernel decision, changes throughput only -- never results.
+Tier 2 additionally requires a 2-level hierarchy (an L2 intercepts the
+LLC path) and, for the shared org, no victim replication (replica
+probes precede the home-bank lookup); disqualified systems keep the
+tier-1 kernel with the stricter PR 5 bail thresholds.  At runtime the
+filter self-monitors: workloads whose *combined* retired fraction
+cannot amortize the shadow bookkeeping make it *bail out* -- detach
+every hook and run the reference loop for the rest of the run -- and
+record a :attr:`ShadowFilter.bail_reason` (tier fractions, threshold,
+decision point) so suite-parity results are diagnosable.  Bailing,
+like every other kernel decision, changes throughput only -- never
+results.
 
 Configuration
 -------------
 ``$REPRO_FASTPATH`` = ``on`` (default) / ``off`` / ``verify`` (run the
-kernel but cross-check the shadow maps against the real L1s after
-every slow-path event).  :func:`use_fastpath` installs an ambient
-override (the CLI's ``--no-fastpath``); the run engine records the
-resolved value in ``RunRequest.fastpath`` so provenance keys capture
-it -- the *results* are identical either way, only throughput differs.
+kernel but cross-check the tier-1 maps against the real L1s after
+every slow-path event and the tier-2 maps against the vaults / banks /
+sharer table after every retired chunk).  :func:`use_fastpath`
+installs an ambient override (the CLI's ``--no-fastpath``); the run
+engine records the resolved value in ``RunRequest.fastpath`` so
+provenance keys capture it -- the *results* are identical either way,
+only throughput differs.
 """
 
 import os
 from collections import deque
 from contextlib import contextmanager
 from itertools import accumulate, repeat
+from types import MappingProxyType
 
-from repro.coherence.states import MODIFIED
-from repro.cores.perf_model import LEVEL_L1
+import numpy as np
+
+from repro.coherence.sharer_table import SharerTable
+from repro.coherence.states import SHARED, EXCLUSIVE, OWNED, MODIFIED
+from repro.cores.perf_model import LEVEL_L1, LEVEL_LLC_LOCAL
 from repro.obs.stats import Group
+from repro.sim.config import LLC_SHARED, LLC_PRIVATE_VAULT
 
 #: Recognized $REPRO_FASTPATH spellings.
 _ON = frozenset(("", "1", "on", "true", "yes"))
 _OFF = frozenset(("0", "off", "false", "no"))
+
+_NO_OWNER = SharerTable.NO_OWNER
+
+#: Shared placeholder probed when a system has no tier 2: an empty
+#: read-only mapping whose ``get`` classifies every event as
+#: not-tier-2 at C speed (immutable, so safe at module scope).
+_NO_TIER2 = MappingProxyType({})
 
 
 def mode_from_env():
@@ -125,17 +182,19 @@ def use_fastpath(enabled):
 
 
 class ShadowDivergence(AssertionError):
-    """The shadow filter disagrees with the real L1 contents
-    (REPRO_FASTPATH=verify): a mutation path failed to notify."""
+    """The shadow filter disagrees with the real cache/directory
+    contents (REPRO_FASTPATH=verify): a mutation path failed to
+    notify."""
 
 
 class ShadowView:
-    """Shadow of one L1 feeding the core's shared ``safe_map`` (event
-    key -> the set dict holding the block; see the module docstring
-    for the key encoding).  The L1-D view owns the read (kind 0) and
-    write (kind 1) keys, the L1-I view the ifetch (kind 2) keys.  Fed
-    by the owning :class:`~repro.caches.sram_cache.SetAssocCache`'s
-    notification hooks."""
+    """Tier-1 shadow of one L1 feeding the core's shared ``safe_map``
+    (event key -> the set dict holding the block; see the module
+    docstring for the key encoding).  The L1-D view owns the read
+    (kind 0) and write (kind 1) keys, the L1-I view the ifetch (kind
+    2) keys.  Fed by the owning
+    :class:`~repro.caches.sram_cache.SetAssocCache`'s notification
+    hooks."""
 
     __slots__ = ("safe_map", "ifetch")
 
@@ -156,6 +215,29 @@ class ShadowView:
         if self.ifetch:
             m[key | 2] = entries
             return
+        m[key] = entries
+        if state == MODIFIED:
+            m[key | 1] = entries
+        else:
+            m.pop(key | 1, None)
+
+    def fill(self, block, state, entries, vblock):
+        """The cache evicted ``vblock`` (None when nothing was
+        displaced) and inserted ``block`` in one fill.  Fused
+        drop+note: miss-path inserts fire exactly one hook call --
+        the split pair was a measurable tax on miss-bound
+        workloads."""
+        m = self.safe_map
+        key = block << 2
+        if self.ifetch:
+            if vblock is not None:
+                m.pop(vblock << 2 | 2, None)
+            m[key | 2] = entries
+            return
+        if vblock is not None:
+            vkey = vblock << 2
+            m.pop(vkey, None)
+            m.pop(vkey | 1, None)
         m[key] = entries
         if state == MODIFIED:
             m[key | 1] = entries
@@ -184,10 +266,185 @@ class ShadowView:
             del m[k]
 
 
+class VaultShadow:
+    """Tier-2 shadow of one core's vault feeding its ``safe2`` map
+    (event key -> vault coherence state; see the module docstring for
+    which kinds require which states).  Fed by
+    :class:`~repro.caches.vault_cache.VaultCache`'s notification
+    hooks."""
+
+    __slots__ = ("safe2",)
+
+    def __init__(self, vault, safe2):
+        self.safe2 = safe2
+        # Adopt whatever is already resident (warm build); a cold
+        # vault skips the tag-array scan entirely.
+        if vault.resident:
+            for block, state in vault.blocks():
+                self.note(block, state)
+
+    def note(self, block, state):
+        """The vault filled ``block`` (or changed its state)."""
+        key = block << 2
+        m = self.safe2
+        m[key] = state
+        m[key | 2] = state
+        if state == MODIFIED:
+            m[key | 1] = MODIFIED
+        else:
+            m.pop(key | 1, None)
+
+    def fill(self, block, state, vblock):
+        """The vault evicted ``vblock`` (None for a cold set) and
+        filled ``block`` in one direct-mapped fill -- fused
+        drop+note, one hook call per vault insert."""
+        m = self.safe2
+        if vblock is not None:
+            vkey = vblock << 2
+            m.pop(vkey, None)
+            m.pop(vkey | 1, None)
+            m.pop(vkey | 2, None)
+        key = block << 2
+        m[key] = state
+        m[key | 2] = state
+        if state == MODIFIED:
+            m[key | 1] = MODIFIED
+        else:
+            m.pop(key | 1, None)
+
+    def drop(self, block):
+        """The vault evicted or invalidated ``block``."""
+        key = block << 2
+        m = self.safe2
+        m.pop(key, None)
+        m.pop(key | 1, None)
+        m.pop(key | 2, None)
+
+    def wipe(self):
+        """The vault was cleared wholesale (this map is per-vault)."""
+        self.safe2.clear()
+
+
+class BankShadow:
+    """Tier-2 shadow of one NUCA bank feeding the system-wide
+    ``safe2`` map (event key -> the home bank's set dict).  Residency
+    transitions arrive through the bank's own
+    :class:`~repro.caches.sram_cache.SetAssocCache` hooks; the read
+    and write keys additionally require the sharer table's no-owner /
+    no-sharer conditions (re-derived by :class:`TableShadow` when
+    sharing vectors change without a bank access)."""
+
+    __slots__ = ("safe2", "table_entries", "num_banks", "index")
+
+    def __init__(self, bank, table, safe2, num_banks, index):
+        self.safe2 = safe2
+        self.table_entries = table._entries
+        self.num_banks = num_banks
+        self.index = index
+        for entries in bank._sets:
+            for block, state in entries.items():
+                self.note(block, state, entries)
+
+    def note(self, block, state, entries):
+        """The bank inserted ``block`` into ``entries`` (or changed
+        its dirty flag -- irrelevant to safety, but the re-derivation
+        is harmless)."""
+        m = self.safe2
+        key = block << 2
+        m[key | 2] = entries
+        e = self.table_entries.get(block)
+        if e is None:
+            # no sharers, no owner: reads and writes are both trivial
+            m[key] = entries
+            m[key | 1] = entries
+        else:
+            # a sharer entry exists => mask != 0 => writes unsafe
+            if e[1] == _NO_OWNER:
+                m[key] = entries
+            else:
+                m.pop(key, None)
+            m.pop(key | 1, None)
+
+    def fill(self, block, state, entries, vblock):
+        """The bank evicted ``vblock`` (None when nothing was
+        displaced) and inserted ``block`` in one fill -- fused
+        drop+note, one hook call per bank insert."""
+        m = self.safe2
+        if vblock is not None:
+            vkey = vblock << 2
+            m.pop(vkey, None)
+            m.pop(vkey | 1, None)
+            m.pop(vkey | 2, None)
+        key = block << 2
+        m[key | 2] = entries
+        e = self.table_entries.get(block)
+        if e is None:
+            m[key] = entries
+            m[key | 1] = entries
+        else:
+            if e[1] == _NO_OWNER:
+                m[key] = entries
+            else:
+                m.pop(key, None)
+            m.pop(key | 1, None)
+
+    def drop(self, block):
+        """The bank evicted or invalidated ``block``."""
+        key = block << 2
+        m = self.safe2
+        m.pop(key, None)
+        m.pop(key | 1, None)
+        m.pop(key | 2, None)
+
+    def wipe(self):
+        """The bank was cleared wholesale.  Only this bank's blocks
+        die -- the safe2 map is shared across banks, and a block's
+        home bank is fixed by address interleave."""
+        nb = self.num_banks
+        idx = self.index
+        m = self.safe2
+        dead = [k for k in m if (k >> 2) % nb == idx]
+        for k in dead:
+            del m[k]
+
+
+class TableShadow:
+    """Sharer-table hook for the tier-2 NUCA map: when a block's
+    sharing vector changes (L1 fills, evictions, downgrades), its read
+    and write keys are recomputed against the unchanged home-bank
+    residency.  Fed by
+    :class:`~repro.coherence.sharer_table.SharerTable`."""
+
+    __slots__ = ("safe2", "llc")
+
+    def __init__(self, llc, safe2):
+        self.safe2 = safe2
+        self.llc = llc
+
+    def on_entry(self, block, mask, owner):
+        """``block``'s sharing entry is now (mask, owner) -- (0,
+        NO_OWNER) when it was deleted."""
+        entries = self.llc.home_entries(block)
+        m = self.safe2
+        key = block << 2
+        if block in entries:
+            if owner == _NO_OWNER:
+                m[key] = entries
+            else:
+                m.pop(key, None)
+            if mask == 0:
+                m[key | 1] = entries
+            else:
+                m.pop(key | 1, None)
+        else:
+            m.pop(key, None)
+            m.pop(key | 1, None)
+
+
 #: Events driven before the kernel decides whether to keep running.
 PROBATION_EVENTS = 128_000
-#: Minimum retired fraction for the kernel to stay enabled: below
-#: this, safe streaks are too short for batching to beat its own
+#: Minimum retired fraction for a tier-1-only kernel to stay enabled:
+#: below this, safe streaks are too short for batching to beat its own
 #: bookkeeping (short-streak scans plus shadow-hook costs on the miss
 #: path), so the kernel bails out for the rest of the run.
 RETIRE_MIN = 0.95
@@ -198,20 +455,30 @@ RETIRE_MIN = 0.95
 #: below.
 EARLY_PROBATION_EVENTS = 32_000
 EARLY_RETIRE_MIN = 0.75
+#: With tier 2 available, per-event dispatch replaces the wide scan in
+#: mixed regimes, so much lower combined fractions still pay: the
+#: thresholds only need to exclude runs dominated by true misses and
+#: coherence traffic (where shadow-hook costs on the slow path buy
+#: nothing).
+TIER2_RETIRE_MIN = 0.50
+TIER2_EARLY_RETIRE_MIN = 0.35
 
 
 class ShadowFilter:
-    """Per-system shadow of every core's L1-D/L1-I plus the batch
-    kernel that retires safe hit streaks against it.
+    """Per-system shadow of every core's L1-D/L1-I (tier 1) plus the
+    local-LLC tier (per-core vaults under SILO, the banked NUCA +
+    sharer table under the shared org) and the batch kernel that
+    retires safe streaks against them.
 
     The filter self-monitors: after :data:`PROBATION_EVENTS` driven
-    events it compares the retired fraction against
-    :data:`RETIRE_MIN` and, in miss-heavy regimes where batching
-    cannot pay for itself, *bails out* -- detaches every shadow hook
-    and tells the driver to run the reference loop for the rest of
-    the run.  Bailing is pure throughput policy: the kernel is
-    semantically transparent, so results are bit-identical whether it
-    retires everything, nothing, or bails halfway through.
+    events it compares the combined retired fraction against the
+    tier-appropriate minimum and, in regimes where batching cannot pay
+    for itself, *bails out* -- detaches every shadow hook and tells
+    the driver to run the reference loop for the rest of the run,
+    recording why in :attr:`bail_reason`.  Bailing is pure throughput
+    policy: the kernel is semantically transparent, so results are
+    bit-identical whether it retires everything, nothing, or bails
+    halfway through.
     """
 
     def __init__(self, system):
@@ -220,23 +487,47 @@ class ShadowFilter:
         #: Kernel disabled itself (miss-heavy workload); permanent
         #: for this system.
         self.bailed = False
+        #: Why the kernel bailed (stage, per-tier fractions, the
+        #: threshold it missed, the decision point); None while
+        #: running.  Surfaced through :meth:`summary` into manifests,
+        #: telemetry and the profiler.
+        self.bail_reason = None
         #: Optional zero-arg callback fired by :meth:`bail` (the
-        #: profiler counts mid-run bail-outs through this).
+        #: profiler counts mid-run bail-outs through this; the reason
+        #: is read back from :attr:`bail_reason`).
         self.on_bail = None
         self._decided = False
-        #: Events retired in bulk by the kernel.
+        # Probation accounting: chunks that start before a core's
+        # floor position (the trace's prewarm prefix, see
+        # :meth:`set_probation_floor`) do not count toward the
+        # bail-out decision -- the one-touch prefix is deliberately
+        # miss-heavy, and judging the kernel on it would condemn
+        # every workload whose steady state retires fine.
+        self._floor = [0] * system.num_cores
+        self._p_total = 0
+        self._p_retired = 0
+        self._p_t1 = 0
+        self._p_t2 = 0
+        #: Events retired by the kernel (all tiers).
         self.retired_events = 0
-        #: Safe streaks retired (>= 1 event each).
+        #: Events retired as trivial L1 hits (tier 1).
+        self.tier1_retired = 0
+        #: Events retired as local vault/NUCA-bank hits (tier 2).
+        self.tier2_retired = 0
+        #: Safe streaks retired (>= 1 event each; a streak may mix
+        #: tiers -- it ends at the first slow-path event).
         self.streaks = 0
         #: Events driven through ``_drive`` while the kernel was active
         #: (retired + slow-path).
         self.total_events = 0
+        self._system = system
         self._l1d = system.l1d
         self._l1i = system.l1i
         self._lanes = []
         #: Per-core adaptive scan window: grows into the C-level batch
-        #: scan on long hit streaks, shrinks to the per-event loop in
-        #: miss-heavy regimes where wide scans would be wasted work.
+        #: scan on long tier-1 streaks, shrinks to the per-event mixed
+        #: dispatch in miss-heavy regimes where wide scans would be
+        #: wasted work.
         self._win = []
         for c in range(system.num_cores):
             safe_map = {}
@@ -250,17 +541,98 @@ class ShadowFilter:
                 system.l1d[c]._reorder, system.l1i[c]._reorder,
                 core.data_count, core.ifetch_count))
             self._win.append(16)
+        #: Which tier-2 shadow this system runs: "vault" (SILO),
+        #: "nuca" (shared org) or None (L2 present / victim
+        #: replication: tier-1 only, PR 5 thresholds).
+        self.tier2 = None
+        self._t2maps = None
+        self._vaults = None
+        self._g2 = None
+        self._table = None
+        self._llc = None
+        self._t2info = [None] * system.num_cores
+        if system.l2 is None:
+            if system.kind == LLC_PRIVATE_VAULT:
+                self._init_tier2_vault(system)
+            elif (system.kind == LLC_SHARED
+                    and not system.victim_replication):
+                self._init_tier2_nuca(system)
+        self._t2state = []
+        for c in range(system.num_cores):
+            self._t2state.append(self._build_t2state(system, c))
         self.stats = self._build_stats()
 
+    def _init_tier2_vault(self, system):
+        self.tier2 = "vault"
+        self._vaults = system.vaults
+        self._t2maps = []
+        # Constant local-hit latency: the stall lane is the only
+        # per-event tier-2 timing input.
+        tok = ("vault", system.llc_latency)
+        for c, vault in enumerate(system.vaults):
+            safe2 = {}
+            vault.shadow = VaultShadow(vault, safe2)
+            self._t2maps.append(safe2)
+            self._t2info[c] = (tok, None, None, 0, system.llc_latency)
+
+    def _init_tier2_nuca(self, system):
+        self.tier2 = "nuca"
+        llc = system.llc
+        mesh = system.mesh
+        self._llc = llc
+        self._table = system.sharer_table
+        self._g2 = {}
+        nb = llc.num_banks
+        hop_lat = mesh.hop_latency
+        inj = mesh.INJECTION_OVERHEAD
+        bank_lat = llc.bank_latency
+        for c in range(system.num_cores):
+            # Per-core bank latency/hop rows: round_trip(core, bank) +
+            # bank access, exactly the reference's int arithmetic, and
+            # the hop count round_trip adds to mesh.link_traversals.
+            hops_row = [mesh.hops(c, b) for b in range(nb)]
+            lat_row = [inj + 2 * h * hop_lat + bank_lat
+                       for h in hops_row]
+            tok = ("nuca", tuple(lat_row), tuple(hops_row))
+            self._t2info[c] = (tok,
+                               np.asarray(lat_row, dtype=np.int64),
+                               np.asarray(hops_row, dtype=np.int64),
+                               nb, 0)
+        system.sharer_table.shadow = TableShadow(llc, self._g2)
+        for i, bank in enumerate(llc.banks):
+            bank.shadow = BankShadow(bank, system.sharer_table,
+                                     self._g2, nb, i)
+
+    def _build_t2state(self, system, c):
+        """The per-core pre-bound tier-2 retire bundle (None when this
+        system has no tier 2)."""
+        if self.tier2 == "vault":
+            m = self._t2maps[c]
+            return (m.get, m, system.l1d[c].insert,
+                    system.l1i[c].insert, system.cores[c])
+        if self.tier2 == "nuca":
+            g2 = self._g2
+            table = system.sharer_table
+            return (g2.get, g2, system.l1d[c].insert,
+                    system.l1i[c].insert, system.cores[c],
+                    table._entries.get, table.add_sharer,
+                    table.remove_sharer, system.llc.banks[0]._reorder)
+        return None
+
     def _build_stats(self):
-        """Standalone hit-streak stats group.  Deliberately NOT part of
-        ``system.stats``: the differential pin suite asserts fastpath
-        and reference stats snapshots are identical, and kernel
-        activity is simulator observability, not simulated state."""
+        """Standalone kernel-activity stats group.  Deliberately NOT
+        part of ``system.stats``: the differential pin suite asserts
+        fastpath and reference stats snapshots are identical, and
+        kernel activity is simulator observability, not simulated
+        state."""
         g = Group("fastpath", "shadow-filter batch kernel activity")
         g.bind(self, "retired_events",
-               desc="events retired in bulk by the kernel")
-        g.bind(self, "streaks", desc="safe hit streaks retired")
+               desc="events retired in bulk by the kernel (all tiers)")
+        g.bind(self, "tier1_retired",
+               desc="events retired as trivial L1 hits")
+        g.bind(self, "tier2_retired",
+               desc="events retired as local vault/NUCA hits")
+        g.bind(self, "streaks", desc="safe streaks retired")
         g.bind(self, "total_events",
                desc="events driven while the kernel was active")
         g.formula("slow_events", self.slow_events,
@@ -277,54 +649,119 @@ class ShadowFilter:
             return 0.0
         return self.retired_events / self.streaks
 
+    def retired_fraction(self):
+        if self.total_events == 0:
+            return 0.0
+        return self.retired_events / self.total_events
+
     def summary(self):
         """Manifest-ready activity record."""
+        total = self.total_events
         return {
             "retired_events": self.retired_events,
+            "tier1_retired": self.tier1_retired,
+            "tier2_retired": self.tier2_retired,
             "slow_events": self.slow_events(),
-            "total_events": self.total_events,
+            "total_events": total,
             "streaks": self.streaks,
             "mean_streak": self.mean_streak(),
+            "retired_fraction": self.retired_fraction(),
+            "retired_fraction_t1": (self.tier1_retired / total
+                                    if total else 0.0),
+            "retired_fraction_t2": (self.tier2_retired / total
+                                    if total else 0.0),
+            "tier2": self.tier2,
             "bailed": self.bailed,
+            "bail_reason": self.bail_reason,
         }
 
+    def tier2_lanes(self, core, lanes):
+        """The core's (lat, stall, hops) tier-2 lanes over ``lanes``,
+        built vectorized once per (trace, tier-2 config) and cached on
+        the lanes object (see
+        :meth:`repro.sim.driver.EventLanes.tier2_lanes`)."""
+        tok, lat_lut, hop_lut, nb, const_lat = self._t2info[core]
+        return lanes.tier2_lanes(tok, lat_lut, hop_lut, nb, const_lat)
+
     # silolint: hotpath
-    def retire_chunk(self, core, blocks, writes, ifetches, lat_mul,
-                     cpi_ev, keys, if_prefix, pos, hi, t, access,
+    def retire_chunk(self, core, lanes, cpi_ev, pos, hi, t, access,
                      measuring):
-        """Drive ``blocks[pos:hi]`` for ``core`` to completion: safe
-        hit streaks are retired in bulk against the shadow filter, and
-        every other event goes through ``access`` exactly as the
+        """Drive ``lanes`` events ``[pos:hi)`` for ``core`` to
+        completion: safe streaks are retired against the shadow maps,
+        and every other event goes through ``access`` exactly as the
         reference loop would.  Returns the core's advanced clock.
 
-        Two retirement regimes, picked by a per-core adaptive window:
+        Tier-1 retirement has two regimes, picked by a per-core
+        adaptive window:
 
         * Wide (window >= 64): classify a whole window with one
           C-level ``map(safe_map.get, keys[pos:end])``, find the safe
           prefix with ``list.index``, then replay only the *last*
-          recency touch of each distinct key (reversed ``dict(zip)``
-          dedup -- retired events cannot insert or evict, so
+          recency touch of each distinct key (reversed ``dict``
+          dedup -- tier-1 events cannot insert or evict, so
           intermediate touches of a block are superseded by its last).
         * Narrow (window < 64): a per-event loop with inline reorder,
-          which wastes nothing when misses are frequent and streaks
-          are short.
+          which wastes nothing when streaks are short.
 
-        The window tracks twice the last streak length, so each core
-        settles into whichever regime its miss rate warrants.  Per
-        retired event the clock advances ``t += cpi_ev`` exactly as
-        the reference loop does (float addition is order-sensitive);
-        L1 counters are bumped per streak from the ifetch prefix-sum
-        lane (integer adds commute).
+        The window tracks twice the last tier-1 streak length, so each
+        core settles into whichever regime its hit pattern warrants.
+
+        Events that break a tier-1 streak are then probed against the
+        tier-2 map and, when safe, retired inline: the L1 fill runs
+        through the real cache methods (whose hooks keep tier 1
+        coherent), latency sums, histograms and the clock advance
+        through the identical per-event operations (order-sensitive
+        floats), and commuting integer counters are batched and
+        flushed at chunk end.  Tier-2 retirement mutates L1 state, so
+        there is no wide regime beyond tier 1 -- classification is
+        per event by construction.
         """
         (safe_map, d_reorder, i_reorder,
          data_count, ifetch_count) = self._lanes[core]
+        keys = lanes.keys
+        blocks = lanes.blocks
+        writes = lanes.writes
+        ifetches = lanes.ifetches
+        lat_mul = lanes.lat_mul
+        if_prefix = lanes.if_prefix
         get = safe_map.get
+        both_reorder = d_reorder and i_reorder
         win = self._win[core]
         check = self.check if self.verify_mode else None
         self.total_events += hi - pos
+        pos0 = pos
         retired = 0
+        retired2 = 0
         run = 0
         streaks = 0
+        slow_run = 0
+        slow_win = 16
+        t2 = self._t2state[core]
+        nuca = False
+        if t2 is None:
+            t2get = _NO_TIER2.get
+        else:
+            sysobj = self._system
+            lo_rw, hi_rw = sysobj.rw_shared_range
+            nuca = self.tier2 == "nuca"
+            if nuca:
+                (t2get, t2map, l1d_ins, l1i_ins, cm, ent_get,
+                 add_sh, rem_sh, llc_reorder) = t2
+                ins_llc = sysobj._insert_llc
+                t2lat, t2stall, t2hops = self.tier2_lanes(core, lanes)
+                bit = 1 << core
+                hops_acc = 0
+            else:
+                t2get, t2map, l1d_ins, l1i_ins, cm = t2
+                llc_lat = sysobj.llc_latency
+                t2stall = self.tier2_lanes(core, lanes)[1]
+            dlat = cm.data_latency
+            ilat = cm.ifetch_latency
+            rec = cm.latency_hist[LEVEL_LLC_LOCAL].record
+            acc = 0
+            wb = 0
+            d2 = 0
+            i2 = 0
         while pos < hi:
             if win >= 64:
                 end = pos + win
@@ -382,12 +819,18 @@ class ShadowFilter:
                         k_if = (if_prefix[stop] - if_prefix[pos]) >> 1
                         data_count[LEVEL_L1] += k - k_if
                         ifetch_count[LEVEL_L1] += k_if
-                    # C-level drain of k sequential ``t += cpi_ev``
-                    # adds -- the identical FP operation sequence, so
-                    # still bit-exact (a bulk ``k * cpi_ev`` would not
-                    # be).
-                    t = deque(accumulate(repeat(cpi_ev, k), initial=t),
-                              maxlen=1)[0]
+                    # Drain k sequential ``t += cpi_ev`` adds -- the
+                    # identical FP operation sequence, so still
+                    # bit-exact (a bulk ``k * cpi_ev`` would not be).
+                    # Short streaks take a plain loop: constructing the
+                    # C-level accumulate pipeline costs more than a few
+                    # float adds.
+                    if k < 24:
+                        for _ in range(k):
+                            t += cpi_ev
+                    else:
+                        t = deque(accumulate(repeat(cpi_ev, k),
+                                             initial=t), maxlen=1)[0]
                     retired += k
                     run += k
                     pos = stop
@@ -398,7 +841,42 @@ class ShadowFilter:
                     win = 1024
                 if full:
                     continue
+            elif both_reorder:
+                # Narrow regime, both L1s LRU (the common case): every
+                # hit is a pop/reinsert of its own block, no kind
+                # checks needed.
+                start = pos
+                while pos < hi:
+                    key = keys[pos]
+                    entries = get(key)
+                    if entries is None:
+                        break
+                    b = key >> 2
+                    st = entries.pop(b)
+                    entries[b] = st
+                    pos += 1
+                k = pos - start
+                if k:
+                    if measuring:
+                        k_if = (if_prefix[pos] - if_prefix[start]) >> 1
+                        data_count[LEVEL_L1] += k - k_if
+                        ifetch_count[LEVEL_L1] += k_if
+                    # t is never read during a streak, so the k
+                    # deferred ``t += cpi_ev`` adds drain afterwards:
+                    # a plain loop for short streaks, the C-level
+                    # accumulate for long ones (same op sequence).
+                    if k < 24:
+                        for _ in range(k):
+                            t += cpi_ev
+                    else:
+                        t = deque(accumulate(repeat(cpi_ev, k),
+                                             initial=t), maxlen=1)[0]
+                    retired += k
+                    run += k
+                win = 8 if k < 4 else k + k
             else:
+                # Narrow regime, mixed replacement policies: kind
+                # checks route each hit to its view's reorder rule.
                 start = pos
                 while pos < hi:
                     key = keys[pos]
@@ -422,20 +900,111 @@ class ShadowFilter:
                         k_if = (if_prefix[pos] - if_prefix[start]) >> 1
                         data_count[LEVEL_L1] += k - k_if
                         ifetch_count[LEVEL_L1] += k_if
-                    # t is never read during a streak, so the k
-                    # deferred ``t += cpi_ev`` adds drain through the
-                    # same C-level accumulate as the wide regime.
-                    t = deque(accumulate(repeat(cpi_ev, k), initial=t),
-                              maxlen=1)[0]
+                    if k < 24:
+                        for _ in range(k):
+                            t += cpi_ev
+                    else:
+                        t = deque(accumulate(repeat(cpi_ev, k),
+                                             initial=t), maxlen=1)[0]
                     retired += k
                     run += k
                 win = 8 if k < 4 else k + k
             if pos >= hi:
                 break
-            # the event at ``pos`` is not guaranteed safe: reference path
+            # the event at ``pos`` is not a guaranteed-trivial L1 hit:
+            # probe tier 2, then fall back to the reference path.
+            key = keys[pos]
+            v = t2get(key)
+            if v is not None:
+                b = key >> 2
+                kind = key & 3
+                if nuca:
+                    # Local NUCA-bank hit: mesh round trip + bank
+                    # access, home-bank LRU touch, L1 fill through the
+                    # real sharer-table/cache methods (their hooks
+                    # keep both shadow tiers coherent).
+                    lat = t2lat[pos]
+                    hops_acc += t2hops[pos]
+                    acc += 1
+                    if llc_reorder:
+                        st2 = v.pop(b)
+                        v[b] = st2
+                    if kind == 2:
+                        l1i_ins(b, SHARED)
+                        if measuring:
+                            ilat[LEVEL_LLC_LOCAL] += lat
+                            i2 += 1
+                            rec(lat)
+                    else:
+                        if kind:
+                            # write key => no sharers: the peer sweep
+                            # is a no-op and the fill takes M.
+                            add_sh(b, core, exclusive=True)
+                            victim = l1d_ins(b, MODIFIED)
+                        else:
+                            e = ent_get(b)
+                            if e is None or not e[0] & ~bit:
+                                add_sh(b, core, exclusive=True)
+                                victim = l1d_ins(b, EXCLUSIVE)
+                            else:
+                                add_sh(b, core)
+                                victim = l1d_ins(b, SHARED)
+                        if victim is not None:
+                            vb = victim[0]
+                            rem_sh(vb, core)
+                            if victim[1] >= OWNED:  # dirty: M or O
+                                wb += 1
+                                # memory queueing is time-dependent:
+                                # stamp the clock and run the real
+                                # (rare) writeback path.
+                                sysobj.now = t
+                                ins_llc(core, vb, True)
+                        if measuring:
+                            dlat[LEVEL_LLC_LOCAL] += lat
+                            d2 += 1
+                            rec(lat)
+                            if lo_rw <= b < hi_rw:
+                                cm.rw_shared_latency += lat
+                                cm.rw_shared_count += 1
+                else:
+                    # Local vault hit: one TAD access, L1 fill with
+                    # the vault state (write keys exist only for M, so
+                    # no upgrade machinery can be due).
+                    acc += 1
+                    if kind == 2:
+                        l1i_ins(b, SHARED)
+                        if measuring:
+                            ilat[LEVEL_LLC_LOCAL] += llc_lat
+                            i2 += 1
+                            rec(llc_lat)
+                    else:
+                        victim = l1d_ins(b, MODIFIED if kind else v)
+                        if victim is not None:
+                            if victim[1] >= OWNED:  # dirty: M or O
+                                wb += 1
+                                # inclusive: dirty data lands in the
+                                # vault when it still holds the victim
+                                if victim[0] << 2 in t2map:
+                                    acc += 1
+                        if measuring:
+                            dlat[LEVEL_LLC_LOCAL] += llc_lat
+                            d2 += 1
+                            rec(llc_lat)
+                            if lo_rw <= b < hi_rw:
+                                cm.rw_shared_latency += llc_lat
+                                cm.rw_shared_count += 1
+                t += cpi_ev
+                t += t2stall[pos]
+                pos += 1
+                run += 1
+                retired2 += 1
+                continue
+            # reference path
             if run:
                 streaks += 1
                 run = 0
+                slow_run = 0
+                slow_win = 16
             lat = access(core, blocks[pos], writes[pos], ifetches[pos],
                          t)
             t += cpi_ev
@@ -444,22 +1013,99 @@ class ShadowFilter:
             pos += 1
             if check is not None:
                 check(core)
+                continue
+            slow_run += 1
+            if slow_run >= 12:
+                # Miss-heavy stretch: drive a doubling window through
+                # the reference loop with no shadow probes at all.
+                # Skipping a probe can only forgo a retirement -- it
+                # never changes what the event does -- so this is pure
+                # throughput policy: the kernel stops paying its
+                # per-event classification tax exactly where the
+                # workload has stopped rewarding it.
+                end = pos + slow_win
+                if end > hi:
+                    end = hi
+                while pos < end:
+                    lat = access(core, blocks[pos], writes[pos],
+                                 ifetches[pos], t)
+                    t += cpi_ev
+                    if lat:
+                        t += lat * lat_mul[pos]
+                    pos += 1
+                slow_win += slow_win
+                if slow_win > 256:
+                    slow_win = 256
+                slow_run = 0
         if run:
             streaks += 1
-        self.retired_events += retired
+        self.retired_events += retired + retired2
+        self.tier1_retired += retired
+        self.tier2_retired += retired2
         self.streaks += streaks
         self._win[core] = win
-        if not self._decided:
-            total = self.total_events
-            if total >= PROBATION_EVENTS:
-                self._decided = True
-                if self.retired_events < RETIRE_MIN * total:
-                    self.bail()
-            elif (total >= EARLY_PROBATION_EVENTS
-                    and self.retired_events < EARLY_RETIRE_MIN * total):
-                self._decided = True
-                self.bail()
+        if t2 is not None:
+            # Commuting integer counters, batched per chunk.
+            sysobj.llc_accesses += acc
+            sysobj.l1_writebacks += wb
+            if nuca and hops_acc:
+                sysobj.mesh.link_traversals += hops_acc
+            if measuring:
+                data_count[LEVEL_LLC_LOCAL] += d2
+                ifetch_count[LEVEL_LLC_LOCAL] += i2
+            if check is not None:
+                self.check_tier2(core)
+        if pos0 >= self._floor[core]:
+            self._p_total += hi - pos0
+            self._p_retired += retired + retired2
+            self._p_t1 += retired
+            self._p_t2 += retired2
+            if not self._decided:
+                total = self._p_total
+                tiered = self.tier2 is not None
+                if total >= PROBATION_EVENTS:
+                    self._decided = True
+                    final_min = (TIER2_RETIRE_MIN if tiered
+                                 else RETIRE_MIN)
+                    if self._p_retired < final_min * total:
+                        self._record_bail("final", final_min)
+                        self.bail()
+                else:
+                    early_min = (TIER2_EARLY_RETIRE_MIN if tiered
+                                 else EARLY_RETIRE_MIN)
+                    if (total >= EARLY_PROBATION_EVENTS
+                            and self._p_retired < early_min * total):
+                        self._decided = True
+                        self._record_bail("early", early_min)
+                        self.bail()
         return t
+
+    def set_probation_floor(self, floors):
+        """Exclude chunks starting before ``floors[core]`` (a trace
+        position -- the driver passes each core's prewarm-prefix
+        length) from the bail-out probation window.  The prewarm
+        prefix touches each block once by design, so its near-zero
+        retired fraction says nothing about the workload's steady
+        state.  Stats counters are unaffected; only the bail decision
+        window moves."""
+        for core, floor in floors.items():
+            if floor > self._floor[core]:
+                self._floor[core] = floor
+
+    def _record_bail(self, stage, threshold):
+        """Deposit the diagnosable bail-out record (which tier was
+        available, observed per-tier retired fractions over the
+        probation window, the threshold missed, the decision point)."""
+        total = self._p_total
+        self.bail_reason = {
+            "stage": stage,
+            "tier2": self.tier2,
+            "threshold": threshold,
+            "retired_fraction": self._p_retired / total,
+            "tier1_fraction": self._p_t1 / total,
+            "tier2_fraction": self._p_t2 / total,
+            "at_events": total,
+        }
 
     def bail(self):
         """Permanently disable the kernel for this system: detach
@@ -473,6 +1119,16 @@ class ShadowFilter:
                 cache.shadow = None
         for lane in self._lanes:
             lane[0].clear()
+        if self.tier2 == "vault":
+            for vault in self._vaults:
+                vault.shadow = None
+            for m in self._t2maps:
+                m.clear()
+        elif self.tier2 == "nuca":
+            for bank in self._llc.banks:
+                bank.shadow = None
+            self._table.shadow = None
+            self._g2.clear()
         if self.on_bail is not None:
             self.on_bail()
 
@@ -512,6 +1168,95 @@ class ShadowFilter:
                     "core %d: %s maps to the wrong set dict"
                     % (core, self._decode(key)))
 
+    def check_tier2(self, core):
+        """Cross-check the tier-2 shadow after a retired chunk
+        (REPRO_FASTPATH=verify): the core's vault map under SILO, the
+        system-wide NUCA map under the shared org.  Raises
+        :class:`ShadowDivergence` on any stale or missing entry."""
+        if self.tier2 == "vault":
+            self._check_vault(core)
+        elif self.tier2 == "nuca":
+            self._check_nuca()
+
+    def _check_vault(self, core):
+        vault = self._vaults[core]
+        tags = vault.tags
+        states = vault.states
+        num_sets = vault.num_sets
+        got = self._t2maps[core]
+        l1d = self._l1d[core]
+        n_read = 0
+        for key, st in got.items():
+            b = key >> 2
+            s = b % num_sets
+            if tags[s] != b:
+                raise ShadowDivergence(
+                    "core %d vault shadow: stale %s (not resident)"
+                    % (core, self._decode(key)))
+            vst = states[s]
+            kind = key & 3
+            if kind == 1:
+                if st != MODIFIED or vst != MODIFIED:
+                    raise ShadowDivergence(
+                        "core %d vault shadow: write key for block %d "
+                        "but vault state is %d" % (core, b, vst))
+                continue
+            if st != vst:
+                raise ShadowDivergence(
+                    "core %d vault shadow: %s records state %d, vault "
+                    "has %d" % (core, self._decode(key), st, vst))
+            if kind == 0:
+                n_read += 1
+                if vst == MODIFIED and (key | 1) not in got:
+                    raise ShadowDivergence(
+                        "core %d vault shadow: M block %d missing its "
+                        "write key" % (core, b))
+                if (key | 2) not in got:
+                    raise ShadowDivergence(
+                        "core %d vault shadow: block %d missing its "
+                        "ifetch key" % (core, b))
+                # The two-probe soundness invariant: when L1-D and the
+                # vault both hold a block, their states are equal.
+                l1st = l1d.lookup(b, touch=False)
+                if l1st is not None and l1st != vst:
+                    raise ShadowDivergence(
+                        "core %d: block %d is L1-D state %d but vault "
+                        "state %d -- the tier-2 write soundness "
+                        "invariant is broken" % (core, b, l1st, vst))
+        if n_read != vault.resident:
+            raise ShadowDivergence(
+                "core %d vault shadow tracks %d blocks, vault holds %d"
+                % (core, n_read, vault.resident))
+
+    def _check_nuca(self):
+        table = self._table._entries
+        expect = {}
+        for bank in self._llc.banks:
+            for entries in bank._sets:
+                for b in entries:
+                    key = b << 2
+                    expect[key | 2] = entries
+                    e = table.get(b)
+                    if e is None:
+                        expect[key] = entries
+                        expect[key | 1] = entries
+                    elif e[1] == _NO_OWNER:
+                        expect[key] = entries
+        got = self._g2
+        if got.keys() != expect.keys():
+            missing = sorted(expect.keys() - got.keys())[:8]
+            stale = sorted(got.keys() - expect.keys())[:8]
+            raise ShadowDivergence(
+                "NUCA shadow diverged from the banks/sharer table "
+                "(missing=%s stale=%s)"
+                % ([self._decode(k) for k in missing],
+                   [self._decode(k) for k in stale]))
+        for key, entries in got.items():
+            if entries is not expect[key]:
+                raise ShadowDivergence(
+                    "NUCA shadow: %s maps to the wrong set dict"
+                    % self._decode(key))
+
     @staticmethod
     def _decode(key):
         """Human-readable form of an event key (for diagnostics)."""
@@ -522,7 +1267,7 @@ class ShadowFilter:
 def kernel_for(system):
     """The system's shadow-filter kernel, or None when the fast path
     must not run: explicitly disabled (``system.use_fastpath``), or a
-    feature with per-event side effects on the L1-hit path is active
+    feature with per-event side effects on the hit paths is active
     (prefetchers, fault injection, tracing, sharing classification).
     Builds and caches the filter on the system on first eligible use.
     """

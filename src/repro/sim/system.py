@@ -449,9 +449,9 @@ class System:
         for c, vault in enumerate(self.vaults):
             if c == core or vault.tags[s] != block:
                 continue
-            vault.tags[s] = -1
-            vault.states[s] = 0
-            vault.resident -= 1
+            # Through the method, not raw tag surgery: the fastpath
+            # vault shadow (repro.sim.fastpath) hangs off invalidate().
+            vault.invalidate(block)
             if self.missmaps is not None:
                 self.missmaps[c].record_eviction(block)
             self.l1d[c].invalidate(block)
@@ -673,6 +673,18 @@ class System:
     def _miss_private(self, core, block, is_write, is_data, now):
         """L1 miss in SILO.  Returns (latency, level)."""
         faults = self.faults
+        if faults is None and self.l2 is None and self.tracer is None:
+            # The shape every headline run takes (no fault injector, no
+            # L2 level, no event tracer): a flattened replica of the
+            # path below with the per-feature branches removed and the
+            # single-use helpers inlined.  Misses are where suite time
+            # goes (DESIGN.md Sec. 2f), and the call fan-out here was
+            # the largest single cost on miss-bound workloads.  Every
+            # operation runs in the original order, so results are
+            # bit-identical; the differential pin suite holds both
+            # paths together.
+            return self._miss_private_plain(core, block, is_write,
+                                            is_data, now)
         if self.l2 is not None:
             l2 = self.l2[core]
             st = l2.lookup(block)
@@ -808,6 +820,132 @@ class System:
         self._fill_vault(core, block, new_state)
         self._fill_private_levels(core, block, is_write, is_data,
                                   new_state)
+        return lat, level
+
+    def _miss_private_plain(self, core, block, is_write, is_data, now):
+        """Flattened ``_miss_private`` for the common shape (no fault
+        injector, no L2, no tracer): identical operations in identical
+        order with the single-use helpers (``_fill_vault``,
+        ``_fill_private_levels``, ``_fill_l1_private``, the mesh/memory
+        frontends) inlined.  Keep the two bodies in lockstep -- the
+        fastpath differential pins run both."""
+        vault = self.vaults[core]
+        s = block % vault.num_sets
+        if vault.tags[s] == block:
+            # Local vault hit: one TAD access resolves tag + data.
+            vst = vault.states[s]
+            self.llc_accesses += 1
+            if is_write and vst != MODIFIED:
+                if vst != EXCLUSIVE:
+                    self._invalidate_peer_vaults(core, block)
+                vault.update(block, MODIFIED)
+                vst = MODIFIED
+            if is_data:
+                victim = self.l1d[core].insert(
+                    block, MODIFIED if is_write else vst)
+                if victim is not None:
+                    vb, vstate = victim
+                    if is_dirty(vstate):
+                        self.l1_writebacks += 1
+                        if vault.tags[vb % vault.num_sets] == vb:
+                            self.llc_accesses += 1
+            return self.llc_latency, LEVEL_LLC_LOCAL
+
+        # Local vault miss.
+        if self.local_mp == "ideal":
+            probe_skipped = True
+        elif self.missmaps is not None:
+            probe_skipped = self.missmaps[core].predicts_miss(block)
+        else:
+            probe_skipped = False
+        if probe_skipped:
+            lat = 0
+        else:
+            lat = self.llc_latency
+            self.llc_accesses += 1  # the probe that discovered the miss
+        mesh = self.mesh
+        hops_tbl = mesh._hops
+        hop_lat = mesh.hop_latency
+        home = block % self.num_cores
+        h = hops_tbl[core][home]
+        mesh.link_traversals += h
+        lat += h * hop_lat
+        self.directory_lookups += 1
+        if self.dir_cache == "ideal":
+            pass  # metadata always in SRAM, zero cost
+        elif self.sram_dir_cache is not None:
+            dir_set = block % self.vaults[0].num_sets
+            if not self.sram_dir_cache.lookup(home, dir_set):
+                lat += self.dir_latency
+                self.llc_accesses += 1
+        else:
+            lat += self.dir_latency  # directory metadata is in DRAM
+            self.llc_accesses += 1
+
+        holders = self.directory.holder_states(block)
+        new_state = MODIFIED if is_write else EXCLUSIVE
+        if holders:
+            if is_write:
+                self._invalidate_peer_vaults(core, block)
+                # data supplied by the (former) owner before invalidation
+                supplier = holders[0][0]
+                lat += (mesh.latency(home, supplier)
+                        + self.llc_latency
+                        + mesh.latency(supplier, core))
+                self.llc_accesses += 1
+                self.remote_forwards += 1
+                level = LEVEL_LLC_REMOTE
+            else:
+                supplier, sup_state = max(
+                    holders, key=lambda cs: cs[1])  # prefer M > O > E > S
+                lat += (mesh.latency(home, supplier)
+                        + self.llc_latency
+                        + mesh.latency(supplier, core))
+                self.llc_accesses += 1
+                self.remote_forwards += 1
+                self._downgrade_supplier(supplier, block, sup_state)
+                new_state = SHARED
+                level = LEVEL_LLC_REMOTE
+        else:
+            port = mesh._nearest[home]
+            h2 = hops_tbl[home][port]
+            h3 = hops_tbl[port][core]
+            mesh.link_traversals += h2 + h3
+            mem = self.memory
+            mem.reads += 1
+            mlat = mem.latency
+            if mem.model_queueing:
+                mlat += mem.controllers[
+                    (block >> 3) % mem.num_channels].access(block, now)
+            lat += h2 * hop_lat + mlat + h3 * hop_lat
+            level = LEVEL_MEMORY
+
+        # _fill_vault, inlined (tracer/missmap branches preserved).
+        victim = vault.insert(block, new_state)
+        self.llc_accesses += 1  # the fill write
+        if self.missmaps is not None:
+            mm = self.missmaps[core]
+            mm.record_fill(block)
+            if victim is not None:
+                mm.record_eviction(victim[0])
+        if victim is not None:
+            vb, vst2 = victim
+            self.vault_evictions += 1
+            l1st = self.l1d[core].invalidate(vb)
+            self.l1i[core].invalidate(vb)
+            if (l1st is not None and is_dirty(l1st)) or is_dirty(vst2):
+                self.memory.access(vb, self.now, is_write=True)
+        # _fill_private_levels -> _fill_l1_private, inlined (no L2).
+        if is_data:
+            victim = self.l1d[core].insert(
+                block, MODIFIED if is_write else new_state)
+            if victim is not None:
+                vb2, vst3 = victim
+                if is_dirty(vst3):
+                    self.l1_writebacks += 1
+                    # Inclusive: the dirty data lands in the vault.
+                    if vault.tags[vb2 % vault.num_sets] == vb2:
+                        self.llc_accesses += 1
         return lat, level
 
     def _downgrade_supplier(self, supplier, block, sup_state):

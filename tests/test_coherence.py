@@ -127,6 +127,38 @@ def test_directory_capacity():
     assert d.storage_bits_per_entry() == 31  # tag + 3 state bits (Fig. 9)
 
 
+def test_residency_index_tracks_mutations():
+    d, vaults = make_dir()
+    vaults[0].insert(5, SHARED)
+    vaults[2].insert(5, MODIFIED)
+    assert d.sharers(5) == [0, 2]
+    # A conflict eviction in vault 0 (same set, different tag) must
+    # move the bit from the victim to the new tag.
+    victim = vaults[0].insert(5 + 16, SHARED)
+    assert victim == (5, SHARED)
+    assert d.sharers(5) == [2]
+    assert d.sharers(5 + 16) == [0]
+    vaults[2].clear()
+    assert not d.is_cached(5)
+    assert d.check_consistent()
+
+
+def test_check_consistent_catches_poisoned_index():
+    d, vaults = make_dir()
+    vaults[1].insert(9, SHARED)
+    # Claim a vault that does not hold the block also holds it.
+    d._holders[9] |= 1 << 3
+    with pytest.raises(AssertionError):
+        d.check_consistent()
+
+
+def test_check_consistent_catches_detached_vault():
+    d, vaults = make_dir()
+    vaults[2].holder_map = {}
+    with pytest.raises(AssertionError):
+        d.check_consistent()
+
+
 def test_requires_equal_vaults():
     vaults = [VaultCache(16 * 64), VaultCache(32 * 64)]
     with pytest.raises(ValueError):

@@ -9,15 +9,21 @@ the L1-hit path (prefetchers, fault injection, tracing, sharing
 classification) must bypass the kernel entirely and still match.
 """
 
+import random
+
 import pytest
 
+from repro.caches.sram_cache import SetAssocCache
+from repro.caches.vault_cache import VaultCache
+from repro.coherence.sharer_table import SharerTable
+from repro.coherence.states import EXCLUSIVE, MODIFIED, SHARED
 from repro.core.systems import system_config
 from repro.cores.perf_model import CoreParams
 from repro.faults import FaultPlan
 from repro.obs import session as obs_session
 from repro.sim import fastpath as fp
-from repro.sim.driver import DEFAULT_CHUNK, _per_core_state, \
-    default_chunk, simulate, use_chunk
+from repro.sim.driver import DEFAULT_CHUNK, _decoded_lanes, \
+    _per_core_state, default_chunk, simulate, use_chunk
 from repro.sim.engine import RunRequest, execute_request
 from repro.sim.sampling import SamplingPlan
 from repro.sim.system import System
@@ -85,12 +91,14 @@ def test_fastpath_identical_on_llc_stressing_workload(config_name):
 
 
 def test_bailout_is_bit_identical():
-    # web_search at this scale is miss-bound: the kernel must notice
-    # during probation, detach its hooks, and change nothing.
+    # web_search at this scale is miss-bound, and 3level_silo's L2
+    # disables tier 2 (so the strict tier-1 thresholds apply): the
+    # kernel must notice during probation, detach its hooks, and
+    # change nothing.
     spec = SCALEOUT_WORKLOADS["web_search"]
     plan = SamplingPlan(6_000, 3_000)
-    fast = _run("silo", fastpath=True, spec=spec, plan=plan)
-    slow = _run("silo", fastpath=False, spec=spec, plan=plan)
+    fast = _run("3level_silo", fastpath=True, spec=spec, plan=plan)
+    slow = _run("3level_silo", fastpath=False, spec=spec, plan=plan)
     _pin(fast, slow)
     filt = fast.system.shadow_filter
     assert filt is not None and filt.bailed
@@ -98,6 +106,15 @@ def test_bailout_is_bit_identical():
     # bail() detached every shadow hook
     assert all(c.shadow is None for c in fast.system.l1d)
     assert all(c.shadow is None for c in fast.system.l1i)
+    # the bail-out is diagnosable: which tier, what fraction, which
+    # threshold, and when the decision fell
+    reason = filt.bail_reason
+    assert reason is not None
+    assert reason["tier2"] is None
+    assert reason["stage"] in ("early", "final")
+    assert reason["retired_fraction"] < reason["threshold"]
+    assert reason["at_events"] >= fp.EARLY_PROBATION_EVENTS
+    assert fast.manifest(seed=7)["fastpath"]["bail_reason"] == reason
 
 
 def test_hot_workload_survives_probation():
@@ -269,9 +286,23 @@ def test_decoded_lanes_are_reused_across_systems():
     sys_b.rw_shared_range = layout.rw_shared_range
     lanes_b = _per_core_state(sys_b, traces)
     for a, b in zip(lanes_a, lanes_b):
-        assert a[1] is b[1]   # blocks lane
-        assert a[6] is b[6]   # key lane
-        assert a[7] is b[7]   # ifetch prefix sums
+        assert a[2] is b[2]                   # the EventLanes object
+        assert a[2].keys is b[2].keys         # and its decoded lanes
+        assert a[2].if_prefix is b[2].if_prefix
+
+
+def test_tier2_lanes_are_memoized_per_token():
+    traces, _ = generate_traces(
+        HOT_SPEC, num_cores=1, events_per_core=PLAN.total_events,
+        scale=SCALE, seed=7)
+    lanes = _decoded_lanes(traces[0], HOT_SPEC.core)
+    a = lanes.tier2_lanes(("vault", 9), None, None, 0, 9)
+    b = lanes.tier2_lanes(("vault", 9), None, None, 0, 9)
+    assert a is b
+    c = lanes.tier2_lanes(("vault", 13), None, None, 0, 13)
+    assert c is not a
+    # the stall lane is the reference's per-event multiply, bit for bit
+    assert a[1] == [9 * m for m in lanes.lat_mul]
 
 
 # ---------------------------------------------------------------------------
@@ -347,3 +378,88 @@ def test_execute_request_honors_fastpath():
     assert fast.system.shadow_filter is not None
     assert slow.system.shadow_filter is None
     _pin(fast, slow)
+
+
+# ---------------------------------------------------------------------------
+# fused fill hooks: a live shadow always equals a fresh adoption
+# ---------------------------------------------------------------------------
+#
+# The miss-path insert hooks are fused (drop + note in one fill call);
+# these drive randomized mutation sequences through the real cache
+# APIs and cross-check the incrementally maintained safe map against
+# one rebuilt by adopting the cache's actual contents from scratch.
+
+_STATES = (SHARED, EXCLUSIVE, MODIFIED)
+
+
+@pytest.mark.parametrize("ifetch", [False, True])
+def test_shadow_view_fill_matches_fresh_adoption(ifetch):
+    rng = random.Random(11 + ifetch)
+    cache = SetAssocCache(16 * 1024, ways=4)
+    live = {}
+    cache.shadow = fp.ShadowView(cache, live, ifetch)
+    for _ in range(600):
+        block = rng.randrange(256)
+        roll = rng.random()
+        if roll < 0.55:
+            cache.insert(block, rng.choice(_STATES))
+        elif roll < 0.75:
+            cache.insert_cold(block, rng.choice(_STATES))
+        elif roll < 0.90:
+            cache.invalidate(block)
+        elif roll < 0.99:
+            if cache.contains(block):
+                cache.update(block, rng.choice(_STATES))
+        else:
+            cache.clear()
+    adopted = {}
+    fp.ShadowView(cache, adopted, ifetch)
+    assert live == adopted
+
+
+def test_vault_shadow_fill_matches_fresh_adoption():
+    rng = random.Random(12)
+    vault = VaultCache(64 * 64)  # 64 direct-mapped sets
+    live = {}
+    vault.shadow = fp.VaultShadow(vault, live)
+    for _ in range(600):
+        block = rng.randrange(256)
+        roll = rng.random()
+        if roll < 0.60:
+            vault.insert(block, rng.choice(_STATES))
+        elif roll < 0.85:
+            vault.invalidate(block)
+        elif roll < 0.99:
+            if vault.contains(block):
+                vault.update(block, rng.choice(_STATES))
+        else:
+            vault.clear()
+    adopted = {}
+    fp.VaultShadow(vault, adopted)
+    assert live == adopted
+
+
+def test_bank_shadow_fill_matches_fresh_adoption():
+    # The sharer table stays fixed while the bank churns: fill-time
+    # re-derivation must then agree with adoption-time re-derivation
+    # key for key (sharing changes mid-run are TableShadow's job).
+    rng = random.Random(13)
+    table = SharerTable(4)
+    for block in range(0, 256, 3):
+        table.add_sharer(block, rng.randrange(4),
+                         exclusive=rng.random() < 0.5)
+    bank = SetAssocCache(8 * 1024, ways=4, index_stride=4)
+    live = {}
+    bank.shadow = fp.BankShadow(bank, table, live, num_banks=4, index=0)
+    for _ in range(600):
+        block = rng.randrange(0, 256, 4)  # this bank's home blocks
+        roll = rng.random()
+        if roll < 0.70:
+            bank.insert(block, rng.random() < 0.5)
+        elif roll < 0.99:
+            bank.invalidate(block)
+        else:
+            bank.clear()
+    adopted = {}
+    fp.BankShadow(bank, table, adopted, num_banks=4, index=0)
+    assert live == adopted

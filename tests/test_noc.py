@@ -74,6 +74,16 @@ def test_nearest_memory_port():
     assert mesh.nearest_memory_port(5) in (0, 3, 12)
 
 
+def test_nearest_memory_port_lut_matches_full_scan():
+    # The constructor precomputes the nearest-port table; it must
+    # agree with the argmin scan (same min() tie-break) everywhere.
+    for nodes in (4, 16, 64):
+        mesh = Mesh2D(nodes)
+        for node in range(nodes):
+            assert mesh.nearest_memory_port(node) == min(
+                mesh.memory_ports, key=lambda p: mesh.hops(node, p))
+
+
 def test_link_traversal_accounting():
     mesh = Mesh2D(16)
     mesh.reset_stats()
