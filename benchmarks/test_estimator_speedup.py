@@ -1,0 +1,90 @@
+"""Estimator acceptance benchmark: fig10 in estimate and auto modes.
+
+Three runs of the fig10 scale-out grid with quick sampling:
+
+1. all-simulate (ground truth, timed per point),
+2. all-estimate (must be >= 100x faster per point, zero fallbacks),
+3. auto (triage: estimate everywhere, simulate only points outside the
+   validated envelope or near the shared-vs-SILO decision boundary).
+
+Auto must reproduce the all-simulate per-workload shared-vs-SILO
+verdicts exactly while actually simulating fewer than half the grid.
+The measured ratios land in ``BENCH_estimator.json``.
+"""
+
+import time
+
+from conftest import write_bench_json
+from repro.core.config import EVALUATED_SYSTEMS
+from repro.experiments.performance import fig10_scaleout
+from repro.sim import engine as sim_engine
+from repro.sim.sampling import PRESETS
+
+PLAN = PRESETS["quick"]
+
+
+def _timed_fig10(engine):
+    start = time.perf_counter()
+    with sim_engine.use_engine(engine):
+        rows = fig10_scaleout(plan=PLAN)
+    return rows, time.perf_counter() - start
+
+
+def _silo_verdicts(rows):
+    """Per-workload shared-vs-SILO verdict: does SILO beat the shared
+    baseline?"""
+    return {r["workload"]: r["normalized_performance"] > 1.0
+            for r in rows
+            if r["system"] == "SILO" and r["workload"] != "Geomean"}
+
+
+def test_estimator_speedup_and_auto_triage(bench_extra):
+    sim = sim_engine.RunEngine(jobs=1)
+    sim_rows, sim_s = _timed_fig10(sim)
+    points = sim.unique_points
+    assert points == len(EVALUATED_SYSTEMS) * 5
+    assert sim.executed == points
+
+    est = sim_engine.RunEngine(jobs=1, mode="estimate")
+    est_rows, est_s = _timed_fig10(est)
+    assert est.estimated == est.unique_points == points
+    assert est.estimate_fallbacks == 0
+    speedup = sim_s / est_s
+
+    auto = sim_engine.RunEngine(jobs=1, mode="auto")
+    auto_rows, auto_s = _timed_fig10(auto)
+    assert auto.unique_points == points
+    simulated_fraction = auto.executed / points
+
+    sim_verdicts = _silo_verdicts(sim_rows)
+    payload = {
+        "schema": "silo-repro-bench-estimator/1",
+        "figure": "fig10",
+        "sampling": "quick",
+        "grid_points": points,
+        "simulate_s": round(sim_s, 3),
+        "estimate_s": round(est_s, 4),
+        "simulate_per_point_s": round(sim_s / points, 4),
+        "estimate_per_point_s": round(est_s / points, 6),
+        "estimate_speedup": round(speedup, 1),
+        "auto_s": round(auto_s, 3),
+        "auto_simulated_points": auto.executed,
+        "auto_estimated_points": auto.estimated,
+        "auto_boundary_simulations": auto.auto_boundary_simulations,
+        "auto_simulated_fraction": round(simulated_fraction, 3),
+        "silo_verdicts": {w: bool(v) for w, v in sim_verdicts.items()},
+    }
+    write_bench_json("BENCH_estimator.json", payload)
+    bench_extra(payload)
+
+    # acceptance: >= 100x per fig10 point in pure estimate mode
+    assert speedup >= 100.0, \
+        "estimate mode only %.1fx faster than simulate" % speedup
+    # acceptance: auto reproduces every shared-vs-SILO verdict while
+    # simulating less than half the grid
+    assert _silo_verdicts(auto_rows) == sim_verdicts
+    assert simulated_fraction < 0.5, \
+        "auto mode simulated %.0f%% of the grid" \
+        % (100 * simulated_fraction)
+    # estimate rows carry real numbers, not NaN placeholders
+    assert all(r["normalized_performance"] > 0 for r in est_rows)

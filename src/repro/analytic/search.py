@@ -1,0 +1,258 @@
+"""Estimator-backed design-space search (vault geometry x organization).
+
+The fig10 grid answers "which of five named systems wins"; a designer
+wants the inverse query: *given* a workload mix and an objective, which
+vault organization should be built?  This module closes that loop:
+
+1. Candidate designs come from the physical design space itself --
+   :func:`repro.dram.sweep.sweep_vault_designs` Pareto frontier points
+   (capacity vs access time under the per-vault area budget), each
+   instantiated both as a SILO private-vault system and as the
+   equivalent address-interleaved shared NUCA (the Vaults-Sh idiom).
+2. Every candidate x workload point is resolved through the analytic
+   estimator (``mode="estimate"`` requests through a
+   :class:`~repro.sim.engine.RunEngine`), so a full search costs
+   milliseconds.
+3. Candidates are ranked by a weighted objective over the mix
+   (log-space weighted sum of performance up and energy down), and the
+   returned optimum is **re-verified by simulation**: the top
+   candidates re-run as ``simulate`` points and the winner under
+   simulated scores is reported alongside the estimated one, with the
+   relative score error.  An optimum whose simulated ranking disagrees
+   with the estimate is flagged, never silently returned.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro import params as P
+from repro.dram.sweep import pareto_frontier, sweep_vault_designs
+from repro.sim.config import HierarchyConfig, LLC_PRIVATE_VAULT, LLC_SHARED
+from repro.sim.engine import RunEngine, RunRequest
+from repro.sim.sampling import SamplingPlan
+
+#: Default number of frontier geometries instantiated as candidates
+#: (each yields one private-vault and one shared-NUCA system).
+DEFAULT_MAX_GEOMETRIES = 4
+
+#: Ignore frontier points below this per-vault capacity: the scaled
+#: model floors tiny caches at MIN_CACHE_BLOCKS, so sub-32 MB vaults
+#: stop being distinguishable design points.
+MIN_VAULT_CAPACITY_MB = 32
+
+
+def vault_total_latency(access_time_ns):
+    """A vault design's end-to-end access latency in core cycles:
+    raw array access plus TAD serialization plus the vault controller
+    (the same composition repro.core.silo and the Table I selection
+    use)."""
+    raw_cycles = max(1, round(access_time_ns / P.NS_PER_CYCLE))
+    return (raw_cycles + P.SILO_SERIALIZATION_LATENCY
+            + P.SILO_CONTROLLER_LATENCY)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One system design under evaluation: a vault geometry bound to
+    an LLC organization."""
+
+    name: str
+    config: HierarchyConfig
+    organization: str
+    vault_capacity_mb: float
+    access_time_ns: float
+    geometry: str = ""
+
+
+def candidate_designs(num_cores=P.NUM_CORES, scale=64,
+                      max_geometries=DEFAULT_MAX_GEOMETRIES,
+                      min_capacity_mb=MIN_VAULT_CAPACITY_MB,
+                      organizations=(LLC_PRIVATE_VAULT, LLC_SHARED),
+                      frontier=None):
+    """The candidate list: Pareto-frontier vault geometries crossed
+    with LLC organizations.
+
+    ``frontier`` overrides the geometry sweep (tests pass synthetic
+    points); otherwise the area-filling sweep's capacity/latency
+    frontier is subsampled evenly down to ``max_geometries`` points so
+    the search spans the whole capacity range without evaluating every
+    discrete organization.
+    """
+    if frontier is None:
+        frontier = pareto_frontier(
+            sweep_vault_designs(fill_area_only=True))
+    points = [p for p in frontier
+              if p.vault_capacity_mb >= min_capacity_mb]
+    if not points:
+        raise ValueError("no frontier point reaches %d MB per vault"
+                         % min_capacity_mb)
+    if len(points) > max_geometries:
+        idx = [round(i * (len(points) - 1) / (max_geometries - 1))
+               for i in range(max_geometries)]
+        points = [points[i] for i in sorted(set(idx))]
+
+    candidates = []
+    for p in points:
+        latency = vault_total_latency(p.access_time_ns)
+        size = int(p.vault_capacity_bytes)
+        cap_mb = p.vault_capacity_mb
+        geometry = getattr(p, "die", None)
+        geom = str(geometry) if geometry is not None else ""
+        for org in organizations:
+            if org == LLC_PRIVATE_VAULT:
+                name = "silo-%dmb" % round(cap_mb)
+                config = HierarchyConfig(
+                    name=name, num_cores=num_cores, scale=scale,
+                    llc_kind=LLC_PRIVATE_VAULT, llc_size_bytes=size,
+                    llc_latency=latency)
+            else:
+                # Vaults-Sh idiom: the same stacked vaults, address-
+                # interleaved into one direct-mapped shared NUCA.
+                name = "shared-%dmb" % round(cap_mb)
+                config = HierarchyConfig(
+                    name=name, num_cores=num_cores, scale=scale,
+                    llc_kind=LLC_SHARED,
+                    llc_size_bytes=size * num_cores,
+                    llc_ways=1, llc_latency=latency)
+            candidates.append(Candidate(
+                name=name, config=config, organization=org,
+                vault_capacity_mb=cap_mb,
+                access_time_ns=p.access_time_ns, geometry=geom))
+    return candidates
+
+
+@dataclass(frozen=True)
+class Objective:
+    """Weighted design objective.  Scores combine in log space --
+    ``w_perf * log(perf) - w_energy * log(energy)`` -- so a score
+    difference is a weighted geometric ratio and weights have scale-
+    free meaning (1.0/0.0 is pure performance, 1.0/1.0 is perf per
+    energy)."""
+
+    performance_weight: float = 1.0
+    energy_weight: float = 0.0
+
+    def score(self, performance, energy_nj):
+        if performance <= 0:
+            raise ValueError("performance must be positive")
+        s = self.performance_weight * math.log(performance)
+        if self.energy_weight:
+            if energy_nj <= 0:
+                raise ValueError("energy must be positive when "
+                                 "energy_weight > 0")
+            s -= self.energy_weight * math.log(energy_nj)
+        return s
+
+
+@dataclass
+class SearchResult:
+    """Ranked candidates plus the simulation cross-check of the
+    returned optimum."""
+
+    #: Candidates sorted by estimated score, best first.  Each row:
+    #: name, organization, vault_capacity_mb, access_time_ns, score,
+    #: performance, energy_nj.
+    ranking: list
+    #: The estimated-best candidate.
+    best: Candidate
+    #: Simulation cross-check: estimated vs simulated score of the
+    #: verified candidates, the winner under each, and whether they
+    #: agree.  Empty dict when ``verify=False``.
+    verification: dict = field(default_factory=dict)
+
+    @property
+    def verified(self):
+        return bool(self.verification) \
+            and self.verification["agrees"]
+
+
+def _mix_scores(candidates, summaries, mix, objective):
+    """Per-candidate weighted score: summaries is one flat list,
+    candidate-major in ``mix`` order."""
+    weights = [w for _spec, w in mix]
+    total_w = sum(weights)
+    if total_w <= 0:
+        raise ValueError("workload mix weights must sum > 0")
+    rows = []
+    it = iter(summaries)
+    for cand in candidates:
+        log_perf = 0.0
+        log_energy = 0.0
+        for _spec, w in mix:
+            summary = next(it)
+            log_perf += w * math.log(summary.performance())
+            log_energy += w * math.log(
+                max(summary.energy["total_dynamic_nj"], 1e-12))
+        perf = math.exp(log_perf / total_w)
+        energy = math.exp(log_energy / total_w)
+        rows.append({
+            "name": cand.name,
+            "organization": cand.organization,
+            "vault_capacity_mb": cand.vault_capacity_mb,
+            "access_time_ns": cand.access_time_ns,
+            "performance": perf,
+            "energy_nj": energy,
+            "score": objective.score(perf, energy),
+        })
+    return rows
+
+
+def search_designs(mix, num_cores=P.NUM_CORES, scale=64, plan=None,
+                   seed=7, objective=None, candidates=None,
+                   engine=None, verify=True, verify_top=2):
+    """Search vault geometry x organization for a workload mix.
+
+    ``mix`` is a list of ``(WorkloadSpec, weight)`` pairs; weights are
+    the mix's relative occupancy and normalize internally.  Returns a
+    :class:`SearchResult` whose optimum has been re-verified by
+    simulation (the ``verify_top`` leading candidates re-run with
+    ``mode="simulate"``) unless ``verify=False``.
+    """
+    mix = list(mix)
+    if not mix:
+        raise ValueError("empty workload mix")
+    if plan is None:
+        plan = SamplingPlan()
+    if objective is None:
+        objective = Objective()
+    if candidates is None:
+        candidates = candidate_designs(num_cores=num_cores, scale=scale)
+    if engine is None:
+        engine = RunEngine(mode="estimate")
+
+    grid = [RunRequest.point(cand.config, spec, plan, seed,
+                             mode="estimate")
+            for cand in candidates for spec, _w in mix]
+    rows = _mix_scores(candidates, engine.run(grid), mix, objective)
+
+    order = sorted(range(len(rows)), key=lambda i: rows[i]["score"],
+                   reverse=True)
+    ranking = [rows[i] for i in order]
+    best = candidates[order[0]]
+
+    verification = {}
+    if verify:
+        top = [candidates[i] for i in order[:max(1, verify_top)]]
+        sim_engine = RunEngine(jobs=engine.jobs, cache=engine.cache,
+                               mode="simulate")
+        sim_grid = [RunRequest.point(cand.config, spec, plan, seed)
+                    for cand in top for spec, _w in mix]
+        sim_rows = _mix_scores(top, sim_engine.run(sim_grid), mix,
+                               objective)
+        sim_best = max(sim_rows, key=lambda r: r["score"])
+        est_score = ranking[0]["score"]
+        verification = {
+            "estimated_best": best.name,
+            "simulated_best": sim_best["name"],
+            "agrees": sim_best["name"] == best.name,
+            "estimated_score": est_score,
+            "simulated_score": sim_best["score"],
+            # scores are log-space: the difference is a log ratio
+            "score_log_error": abs(
+                est_score
+                - next(r["score"] for r in sim_rows
+                       if r["name"] == best.name)),
+            "simulated": sim_rows,
+        }
+    return SearchResult(ranking=ranking, best=best,
+                        verification=verification)

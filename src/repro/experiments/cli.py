@@ -98,6 +98,15 @@ def main(argv=None):
                         metavar="RATE",
                         help="inject transient memory-channel stalls "
                              "at RATE per channel access")
+    parser.add_argument("--mode", choices=sorted(sim_engine.ENGINE_MODES),
+                        default="simulate",
+                        help="point resolution policy: 'simulate' runs "
+                             "the trace-driven simulator everywhere, "
+                             "'estimate' resolves every capable point "
+                             "through the analytic estimator "
+                             "(repro.analytic.estimator), 'auto' "
+                             "estimates inside the validated envelope "
+                             "and simulates boundary/untrusted points")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="simulate up to N grid points in parallel "
                              "worker processes (default: $REPRO_JOBS "
@@ -178,9 +187,16 @@ def main(argv=None):
     else:
         cache_dir = sim_engine.resolve_cache_dir(
             default=sim_engine.DEFAULT_CACHE_DIR)
+    if args.mode != "simulate" and (args.trace or args.stats
+                                    or args.profile
+                                    or telemetry_every):
+        parser.error("--mode %s is analytic; --trace/--stats/"
+                     "--telemetry/--profile need live simulation"
+                     % args.mode)
     engine = sim_engine.RunEngine(
         jobs=args.jobs,
-        cache=sim_engine.RunCache(cache_dir) if cache_dir else None)
+        cache=sim_engine.RunCache(cache_dir) if cache_dir else None,
+        mode=args.mode)
 
     if fault_plan is not None:
         from repro.faults import use_plan

@@ -70,7 +70,24 @@ from repro.workloads.base import WorkloadSpec
 #: kernel is bit-identical to the reference loop, but the key must
 #: say *how* a summary was produced so a cached result can always be
 #: traced back to the exact execution path that made it.
-ENGINE_SCHEMA = "silo-repro-runsummary/3"
+#: /4: requests carry an execution mode ("simulate" or "estimate",
+#: repro.analytic.estimator) and summaries record it.  An analytic
+#: estimate is an approximation with a documented error envelope --
+#: it must never replay from a simulate-mode cache entry, nor the
+#: other way around, so the mode is part of the canonical request.
+ENGINE_SCHEMA = "silo-repro-runsummary/4"
+
+#: Execution modes a RunRequest may carry ("auto" is an engine-level
+#: triage policy, never a request mode: triage resolves each point to
+#: one of these two before keying).
+REQUEST_MODES = ("simulate", "estimate")
+
+#: Engine-level execution policies (--mode): "simulate" runs every
+#: point through the trace-driven simulator, "estimate" resolves
+#: estimator-capable points analytically, "auto" estimates whole grids
+#: and falls back to simulation outside the validated error envelope
+#: or near a shared-vs-SILO decision boundary.
+ENGINE_MODES = ("simulate", "estimate", "auto")
 
 #: Default on-disk cache location (the CLI's default; library use only
 #: caches when $REPRO_CACHE_DIR is set -- see resolve_cache_dir).
@@ -107,11 +124,15 @@ class RunRequest:
     #: Optional fault plan (repro.faults); None means fault-free and
     #: keys differently from any active plan.
     faults: Optional[FaultPlan] = None
+    #: How the point is resolved: "simulate" (trace-driven simulator)
+    #: or "estimate" (repro.analytic.estimator).  Part of the key, so
+    #: analytic approximations can never alias simulated results.
+    mode: str = "simulate"
 
     @classmethod
     def point(cls, config, spec, plan, seed, core_ids=None,
               track_sharing=False, chunk=None, faults=None,
-              fastpath=None):
+              fastpath=None, mode="simulate"):
         """A homogeneous point: ``spec`` on all cores (or ``core_ids``),
         exactly like :func:`repro.sim.driver.simulate`.  ``faults``
         defaults to the ambient plan installed by
@@ -130,11 +151,12 @@ class RunRequest:
         return cls(config=config, placements=((spec, tuple(core_ids)),),
                    plan=plan, seed=seed, colocated=False,
                    track_sharing=track_sharing, chunk=chunk,
-                   fastpath=fastpath, faults=faults)
+                   fastpath=fastpath, faults=faults, mode=mode)
 
     @classmethod
     def colocation(cls, config, assignments, plan, seed,
-                   chunk=None, faults=None, fastpath=None):
+                   chunk=None, faults=None, fastpath=None,
+                   mode="simulate"):
         """A heterogeneous point: ``assignments`` is a list of
         ``(spec, core_ids)`` pairs with disjoint core sets, exactly like
         :func:`repro.workloads.colocation.generate_colocation_traces`."""
@@ -148,7 +170,8 @@ class RunRequest:
             fastpath = default_enabled()
         return cls(config=config, placements=placements, plan=plan,
                    seed=seed, colocated=True, track_sharing=False,
-                   chunk=chunk, fastpath=fastpath, faults=faults)
+                   chunk=chunk, fastpath=fastpath, faults=faults,
+                   mode=mode)
 
     def canonical(self):
         """JSON-native dict that fully determines the simulation."""
@@ -165,6 +188,7 @@ class RunRequest:
             "fastpath": self.fastpath,
             "faults": (None if self.faults is None
                        else self.faults.canonical()),
+            "mode": self.mode,
         }
 
     def key(self, fingerprint=""):
@@ -302,6 +326,9 @@ class RunSummary:
     sharing: Optional[Tuple[int, int, int]]
     #: Default EnergyModel breakdown of the window (Table III units).
     energy: dict
+    #: How the summary was produced: "simulate" here; the analytic
+    #: backend's EstimateSummary subclass carries "estimate".
+    mode: str = "simulate"
 
     # -- performance (RunResult mirror) --------------------------------
 
@@ -408,7 +435,8 @@ class RunSummary:
                            "events_per_sec": self.events_per_sec()},
             "performance": self.performance(),
             "latency_percentiles": self.latency_percentiles(),
-            "engine": {"request_key": self.request_key},
+            "engine": {"request_key": self.request_key,
+                       "mode": self.mode},
         }
         if self.config.get("llc_kind") == LLC_PRIVATE_VAULT:
             data["protocol_provenance"] = _manifest.protocol_provenance()
@@ -551,6 +579,12 @@ def execute_request(request):
 
 
 def _execute_to_summary(request, request_key):
+    if request.mode == "estimate":
+        # Single dispatch seam: anything that executes a request
+        # (serial path, pool worker, determinism tests) honours the
+        # request's mode.
+        from repro.analytic.estimator import estimate_to_summary
+        return estimate_to_summary(request, request_key)
     summary = summarize(execute_request(request), request_key)
     summary.seed = request.seed
     return summary
@@ -647,10 +681,14 @@ class RunEngine:
     process fan-out; accumulates its own observability counters in a
     stats registry group (recorded into experiment manifests)."""
 
-    def __init__(self, jobs=None, cache=None):
+    def __init__(self, jobs=None, cache=None, mode="simulate"):
+        if mode not in ENGINE_MODES:
+            raise ValueError("unknown engine mode %r (choose from %s)"
+                             % (mode, ", ".join(ENGINE_MODES)))
         self.jobs = max(1, int(jobs)) if jobs is not None \
             else jobs_from_env()
         self.cache = cache
+        self.mode = mode
         self.fingerprint = code_fingerprint()
         self.requests = 0
         self.unique_points = 0
@@ -659,6 +697,10 @@ class RunEngine:
         self.executed = 0
         self.exec_wall_s = 0.0
         self.driven_events = 0
+        self.estimated = 0
+        self.estimate_wall_s = 0.0
+        self.estimate_fallbacks = 0
+        self.auto_boundary_simulations = 0
         #: Per-request span log + engine gauges (repro.obs.recorder).
         self.recorder = FlightRecorder()
         self.stats = self._build_stats()
@@ -678,6 +720,15 @@ class RunEngine:
                desc="wall-clock seconds spent executing points")
         g.bind(self, "driven_events",
                desc="measured events driven across executed points")
+        g.bind(self, "estimated",
+               desc="points resolved analytically (estimate mode)")
+        g.bind(self, "estimate_wall_s",
+               desc="wall-clock seconds spent in the analytic backend")
+        g.bind(self, "estimate_fallbacks",
+               desc="estimate-incapable or untrusted points simulated")
+        g.bind(self, "auto_boundary_simulations",
+               desc="auto-mode points simulated near a decision "
+                    "boundary")
         g.formula("events_per_sec", self.events_per_sec,
                   desc="engine-level simulation throughput")
         g.formula("cache_hit_ratio", self.cache_hit_ratio,
@@ -702,6 +753,7 @@ class RunEngine:
     def snapshot(self):
         """The engine stats group as a plain dict (manifest-ready)."""
         snap = self.stats.snapshot()
+        snap["mode"] = self.mode
         snap["cache_dir"] = (self.cache.directory
                              if self.cache is not None else None)
         snap["flight_recorder"] = self.recorder.summary(self.jobs)
@@ -714,11 +766,49 @@ class RunEngine:
         if session is not None:
             session.emit("engine_span", span)
 
+    def _apply_mode_policy(self, requests):
+        """Resolve the engine-level mode into per-request modes.
+
+        ``estimate`` rewrites every estimator-capable request;
+        ``auto`` asks the estimator's triage (envelope trust region +
+        decision-boundary analysis) which points may be estimated.
+        Requests the estimator cannot or should not handle keep their
+        simulate mode and are counted as fallbacks."""
+        from dataclasses import replace
+
+        from repro.analytic import estimator as _estimator
+
+        if self.mode == "estimate":
+            decisions = [
+                "estimate" if (req.mode == "estimate"
+                               or _estimator.can_estimate(req))
+                else "fallback"
+                for req in requests]
+        else:
+            decisions = _estimator.triage(requests)
+        out = []
+        for req, decision in zip(requests, decisions):
+            if decision == "estimate":
+                out.append(req if req.mode == "estimate"
+                           else replace(req, mode="estimate"))
+            else:
+                if decision == "boundary":
+                    self.auto_boundary_simulations += 1
+                else:
+                    self.estimate_fallbacks += 1
+                out.append(req)
+        return out
+
     def run(self, requests):
         """Execute a batch; returns RunSummaries aligned with
         ``requests`` (duplicates share one simulation)."""
         requests = list(requests)
+        for req in requests:
+            if req.mode not in REQUEST_MODES:
+                raise ValueError("unknown request mode %r" % (req.mode,))
         self.requests += len(requests)
+        if self.mode != "simulate":
+            requests = self._apply_mode_policy(requests)
         session = _obs_session.current_session()
         # Tracing, stats inspection, telemetry sampling and profiling
         # all need live Systems: force in-process execution and skip
@@ -758,15 +848,39 @@ class RunEngine:
             else:
                 missing.append(key)
 
-        if missing:
+        est_missing = [k for k in missing
+                       if by_key[k].mode == "estimate"]
+        if est_missing:
+            # Analytic points resolve in microseconds: always
+            # in-process, with their own wall-clock accounting so the
+            # simulation throughput stats stay comparable.
+            from repro.analytic.estimator import estimate_to_summary
+            t0 = clock()
+            for k in est_missing:
+                t_s = clock()
+                summary = estimate_to_summary(by_key[k], k)
+                summaries[k] = summary
+                self.estimated += 1
+                self.estimate_wall_s += clock() - t_s
+                self._note_span(session, rec.record(
+                    k, "estimate", "local", t_s - t0,
+                    clock() - t_s, t_s - rec.epoch))
+                if session is not None:
+                    session.note_summary(summary)
+                if self.cache is not None and not live_only:
+                    self.cache.put(k, summary)
+
+        sim_missing = [k for k in missing
+                       if by_key[k].mode != "estimate"]
+        if sim_missing:
             t0 = clock()
             in_process = (self.jobs <= 1 or live_only
-                          or len(missing) <= 1)
+                          or len(sim_missing) <= 1)
             if in_process:
                 # run_system records these into the session itself
                 # (tracer attach, rich manifests) -- no double noting.
                 executed = []
-                for k in missing:
+                for k in sim_missing:
                     t_s = clock()
                     summary = _execute_to_summary(by_key[k], k)
                     executed.append(summary)
@@ -775,13 +889,13 @@ class RunEngine:
                         clock() - t_s, t_s - rec.epoch))
             else:
                 executed = self._run_pool([(by_key[k], k)
-                                           for k in missing],
+                                           for k in sim_missing],
                                           t0, session)
                 if session is not None:
                     for summary in executed:
                         session.note_summary(summary)
             self.exec_wall_s += clock() - t0
-            for key, summary in zip(missing, executed):
+            for key, summary in zip(sim_missing, executed):
                 summaries[key] = summary
                 self.executed += 1
                 self.driven_events += summary.driven_events()

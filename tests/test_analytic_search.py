@@ -1,0 +1,155 @@
+"""Tests for the estimator-backed design-space search.
+
+The search's claims are structural, so the tests pin structure: the
+candidate list spans the frontier's capacity range in both
+organizations, the objective orders designs the way its weights say,
+and the end-to-end optimum survives its own simulation cross-check.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analytic.search import (Candidate, Objective, SearchResult,
+                                   candidate_designs, search_designs,
+                                   vault_total_latency)
+from repro import params as P
+from repro.sim.config import LLC_PRIVATE_VAULT, LLC_SHARED
+from repro.sim.engine import RunEngine
+from repro.sim.sampling import SamplingPlan
+from repro.workloads.scaleout import SCALEOUT_WORKLOADS
+
+MB = 1 << 20
+
+
+def _frontier_point(cap_mb, ns, die="2x2"):
+    return SimpleNamespace(vault_capacity_mb=cap_mb,
+                           vault_capacity_bytes=cap_mb * MB,
+                           access_time_ns=ns, die=die)
+
+
+SYNTH_FRONTIER = [_frontier_point(32, 8.0), _frontier_point(64, 10.0),
+                  _frontier_point(128, 13.0),
+                  _frontier_point(256, 17.0),
+                  _frontier_point(512, 22.0)]
+
+
+# ---------------------------------------------------------------------------
+# candidate construction
+# ---------------------------------------------------------------------------
+
+
+def test_candidates_cross_geometry_with_organization():
+    cands = candidate_designs(num_cores=4, scale=512, max_geometries=3,
+                              frontier=SYNTH_FRONTIER)
+    assert len(cands) == 6  # 3 geometries x 2 organizations
+    orgs = {c.organization for c in cands}
+    assert orgs == {LLC_PRIVATE_VAULT, LLC_SHARED}
+    # even subsample keeps the capacity extremes
+    caps = sorted({c.vault_capacity_mb for c in cands})
+    assert caps[0] == 32 and caps[-1] == 512
+
+
+def test_candidate_configs_encode_the_organization():
+    cands = candidate_designs(num_cores=4, scale=512, max_geometries=2,
+                              frontier=SYNTH_FRONTIER)
+    by_org = {c.organization: c for c in cands
+              if c.vault_capacity_mb == 32}
+    silo = by_org[LLC_PRIVATE_VAULT]
+    shared = by_org[LLC_SHARED]
+    assert silo.config.llc_size_bytes == 32 * MB
+    # Vaults-Sh: same stacked capacity aggregated into one NUCA
+    assert shared.config.llc_size_bytes == 32 * MB * 4
+    assert shared.config.llc_ways == 1
+    # both carry the geometry's end-to-end latency
+    expected = vault_total_latency(8.0)
+    assert silo.config.llc_latency == expected
+    assert shared.config.llc_latency == expected
+    assert silo.geometry == shared.geometry == "2x2"
+
+
+def test_min_capacity_filter_raises_when_unreachable():
+    with pytest.raises(ValueError):
+        candidate_designs(frontier=[_frontier_point(8, 5.0)],
+                          min_capacity_mb=32)
+
+
+def test_real_frontier_yields_candidates():
+    """The actual area sweep produces at least one >= 32 MB geometry
+    in both organizations."""
+    cands = candidate_designs(num_cores=4, scale=512)
+    assert cands
+    assert all(c.vault_capacity_mb >= 32 for c in cands)
+    assert {c.organization for c in cands} \
+        == {LLC_PRIVATE_VAULT, LLC_SHARED}
+    assert all(c.config.llc_latency > P.SILO_SERIALIZATION_LATENCY
+               for c in cands)
+
+
+# ---------------------------------------------------------------------------
+# objective
+# ---------------------------------------------------------------------------
+
+
+def test_objective_directions():
+    perf_only = Objective(1.0, 0.0)
+    assert perf_only.score(2.0, 5.0) > perf_only.score(1.0, 5.0)
+    assert perf_only.score(2.0, 5.0) == perf_only.score(2.0, 99.0)
+    balanced = Objective(1.0, 1.0)
+    assert balanced.score(2.0, 5.0) > balanced.score(2.0, 10.0)
+
+
+def test_objective_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        Objective().score(0.0, 1.0)
+    with pytest.raises(ValueError):
+        Objective(1.0, 1.0).score(1.0, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end search
+# ---------------------------------------------------------------------------
+
+PLAN = SamplingPlan(12_000, 5_000)
+MIX = [(SCALEOUT_WORKLOADS["web_search"], 1.0),
+       (SCALEOUT_WORKLOADS["mapreduce"], 1.0)]
+
+
+def _small_candidates():
+    return candidate_designs(num_cores=4, scale=512, max_geometries=2,
+                             frontier=SYNTH_FRONTIER)
+
+
+def test_search_without_verification_ranks_all_candidates():
+    cands = _small_candidates()
+    result = search_designs(MIX, num_cores=4, scale=512, plan=PLAN,
+                            candidates=cands, verify=False)
+    assert isinstance(result, SearchResult)
+    assert isinstance(result.best, Candidate)
+    assert len(result.ranking) == len(cands)
+    scores = [r["score"] for r in result.ranking]
+    assert scores == sorted(scores, reverse=True)
+    assert result.ranking[0]["name"] == result.best.name
+    assert result.verification == {}
+    assert result.verified is False
+
+
+def test_search_is_deterministic():
+    a = search_designs(MIX, num_cores=4, scale=512, plan=PLAN,
+                       candidates=_small_candidates(), verify=False)
+    b = search_designs(MIX, num_cores=4, scale=512, plan=PLAN,
+                       candidates=_small_candidates(), verify=False)
+    assert a.ranking == b.ranking
+
+
+@pytest.mark.slow
+def test_search_optimum_survives_simulation_cross_check():
+    engine = RunEngine(jobs=1, mode="estimate")
+    result = search_designs(MIX, num_cores=4, scale=512, plan=PLAN,
+                            candidates=_small_candidates(),
+                            engine=engine, verify=True, verify_top=2)
+    v = result.verification
+    assert v["estimated_best"] == result.best.name
+    assert v["agrees"] and result.verified
+    assert v["score_log_error"] < 0.15  # documented perf bound
+    assert len(v["simulated"]) == 2

@@ -7,12 +7,24 @@ under each of the two Zipf exponents the workload model uses (1.10
 for hot code/data regions, 1.35 for heaps).  The stream is seeded, so
 the measured rates are deterministic and the tolerance is exact, not
 statistical.
+
+Beyond the original 1-set pin, the suite also differentially pins the
+estimator's building blocks (repro.analytic.estimator):
+
+* set-associative caches against the same Che rates (Che's
+  approximation is associativity-blind; the measured gap at 8/16 ways
+  stays inside the fully-associative tolerance);
+* a two-level L1 + direct-mapped vault hierarchy, per level, against
+  both a trace-driven toy hierarchy and the real simulator.
 """
 
 import numpy as np
 import pytest
 
 from repro.analytic.che import lru_hit_rate_irm, zipf_weights
+from repro.analytic.estimator import (RefClass, che_hits,
+                                      direct_mapped_hits,
+                                      estimate_request, filter_classes)
 from repro.caches.sram_cache import SetAssocCache
 from repro.coherence.states import SHARED
 
@@ -53,6 +65,150 @@ def test_trace_driven_matches_che(alpha, capacity):
     assert abs(simulated - analytic) < TOLERANCE, \
         "alpha=%.2f capacity=%d: simulated %.4f vs Che %.4f" \
         % (alpha, capacity, simulated, analytic)
+
+
+# ---------------------------------------------------------------------------
+# set-associative: Che is associativity-blind, the hardware is not
+# ---------------------------------------------------------------------------
+
+
+def measured_set_assoc_hit_rate(alpha, capacity, ways):
+    rng = np.random.default_rng(STREAM_SEED)
+    stream = rng.choice(N_ITEMS, size=N_REFS,
+                        p=zipf_weights(N_ITEMS, alpha))
+    cache = SetAssocCache(capacity * 64, ways=ways)
+    assert cache.num_sets == capacity // ways > 1
+    hits = total = 0
+    warm = N_REFS // 4
+    for i, block in enumerate(stream):
+        block = int(block)
+        if cache.lookup(block) is not None:
+            if i >= warm:
+                hits += 1
+        else:
+            cache.insert(block, SHARED)
+        if i >= warm:
+            total += 1
+    return hits / total
+
+
+@pytest.mark.parametrize("alpha", [1.10, 1.35])
+@pytest.mark.parametrize("capacity,ways", [(256, 8), (1024, 16)])
+def test_set_associative_matches_che(alpha, capacity, ways):
+    """Empirical worst case over this grid is 0.0034: set conflicts
+    barely dent an IRM stream at 8+ ways, exactly the regime where
+    Che's fully-associative model is used for the shared NUCA."""
+    simulated = measured_set_assoc_hit_rate(alpha, capacity, ways)
+    analytic = lru_hit_rate_irm(N_ITEMS, alpha, capacity)
+    assert abs(simulated - analytic) < TOLERANCE, \
+        "alpha=%.2f capacity=%d ways=%d: simulated %.4f vs Che %.4f" \
+        % (alpha, capacity, ways, simulated, analytic)
+
+
+# ---------------------------------------------------------------------------
+# multi-level: L1 + direct-mapped vault, per-level hit rates
+# ---------------------------------------------------------------------------
+
+L1_BLOCKS = 64
+L1_WAYS = 8
+VAULT_SETS = 2048
+
+#: Per-level tolerances of the two-level differential.  The L1 level
+#: is Che again (tight).  The vault level uses the mean-field
+#: most-recent-reference model, which ignores the per-set variance of
+#: the filtered conflict rates; by Jensen's inequality that makes it a
+#: *pessimistic* bound, and the measured worst case over the grid is
+#: 0.064 -- the same order as the estimator's documented 0.10
+#: level-fraction bound.
+L1_TOLERANCE = 0.02
+VAULT_TOLERANCE = 0.08
+
+
+def measured_two_level(alpha):
+    """Trace-driven L1 + direct-mapped vault; returns per-level hit
+    fractions of all references.  Items are placed through a seeded
+    permutation, mirroring the workload generator's scatter (the
+    mean-field vault model assumes scattered, not rank-contiguous,
+    set composition)."""
+    rng = np.random.default_rng(STREAM_SEED)
+    stream = rng.choice(N_ITEMS, size=N_REFS,
+                        p=zipf_weights(N_ITEMS, alpha))
+    perm = np.random.default_rng(99).permutation(N_ITEMS)
+    l1 = SetAssocCache(L1_BLOCKS * 64, ways=L1_WAYS)
+    vault = SetAssocCache(VAULT_SETS * 64, ways=1)
+    l1_hits = vault_hits = total = 0
+    warm = N_REFS // 4
+    for i, item in enumerate(stream):
+        block = int(perm[int(item)])
+        counted = i >= warm
+        if counted:
+            total += 1
+        if l1.lookup(block) is not None:
+            if counted:
+                l1_hits += 1
+            continue
+        if vault.lookup(block) is not None:
+            if counted:
+                vault_hits += 1
+        else:
+            vault.insert(block, SHARED)
+        l1.insert(block, SHARED)
+    return l1_hits / total, vault_hits / total
+
+
+def analytic_two_level(alpha):
+    """The estimator's composition: Che at the L1, the filtered miss
+    stream into the mean-field direct-mapped model."""
+    warm = N_REFS // 4
+    horizon = warm + (N_REFS - warm) / 2
+    classes = [RefClass("vec", n=N_ITEMS,
+                        rates=zipf_weights(N_ITEMS, alpha))]
+    h1 = che_hits(classes, L1_BLOCKS, horizon, ways=L1_WAYS)
+    feed = filter_classes(classes, h1)
+    h2 = direct_mapped_hits(feed, VAULT_SETS, horizon)
+    l1_frac = float(np.sum(classes[0].rates * h1[0]))
+    vault_frac = float(np.sum(feed[0].rates * np.clip(h2[0], 0.0, 1.0)))
+    return l1_frac, vault_frac
+
+
+@pytest.mark.parametrize("alpha", [1.10, 1.35])
+def test_two_level_hierarchy_per_level(alpha):
+    l1_meas, vault_meas = measured_two_level(alpha)
+    l1_est, vault_est = analytic_two_level(alpha)
+    assert abs(l1_meas - l1_est) < L1_TOLERANCE, \
+        "alpha=%.2f L1: measured %.4f vs analytic %.4f" \
+        % (alpha, l1_meas, l1_est)
+    assert abs(vault_meas - vault_est) < VAULT_TOLERANCE, \
+        "alpha=%.2f vault: measured %.4f vs analytic %.4f" \
+        % (alpha, vault_meas, vault_est)
+
+
+def test_multi_level_against_real_simulator():
+    """End-to-end two-level pin against the actual simulator: the
+    estimator's per-level fractions for a SILO system stay within the
+    per-level tolerances on a real scale-out workload."""
+    from repro.core.systems import silo_config
+    from repro.cores.perf_model import LEVEL_L1, LEVEL_LLC_LOCAL
+    from repro.sim.engine import RunEngine, RunRequest
+    from repro.sim.sampling import SamplingPlan
+    from repro.workloads.scaleout import SCALEOUT_WORKLOADS
+
+    req = RunRequest.point(
+        silo_config(num_cores=4, scale=512),
+        SCALEOUT_WORKLOADS["web_search"],
+        SamplingPlan(12_000, 5_000), 7)
+    (sim,) = RunEngine(jobs=1).run([req])
+    estimate = estimate_request(req)
+
+    def fractions(summary):
+        counts = summary.level_counts()
+        total = sum(counts)
+        return [c / total for c in counts]
+
+    fs, fe = fractions(sim), fractions(estimate)
+    assert abs(fs[LEVEL_L1] - fe[LEVEL_L1]) < L1_TOLERANCE
+    assert abs(fs[LEVEL_LLC_LOCAL] - fe[LEVEL_LLC_LOCAL]) \
+        < VAULT_TOLERANCE
 
 
 def test_che_hit_rate_is_monotone_in_capacity():

@@ -1,0 +1,154 @@
+"""Mode isolation in the run cache and EstimateSummary durability.
+
+The analytic estimator answers in microseconds but with a documented
+error bound; the simulator answers in seconds but is ground truth.
+The two must never masquerade as each other through the
+content-addressed cache: ``RunRequest.mode`` is part of the canonical
+request, so a simulate-mode summary can never replay for an
+estimate-mode request or vice versa.  This file pins that key
+separation, both replay directions against a real on-disk
+``RunCache``, and the pickle/JSON round-trips the cache and
+manifests depend on.
+"""
+
+import pickle
+from dataclasses import replace
+
+from repro.analytic.estimator import (EstimateSummary, error_bounds,
+                                      estimate_to_summary)
+from repro.core.systems import silo_config
+from repro.sim.engine import RunCache, RunEngine, RunRequest, RunSummary
+from repro.sim.sampling import SamplingPlan
+from repro.workloads.scaleout import SCALEOUT_WORKLOADS
+
+PLAN = SamplingPlan(1500, 800)
+SCALE = 512
+SEED = 7
+
+
+def _request(mode="simulate"):
+    return RunRequest.point(
+        silo_config(num_cores=4, scale=SCALE),
+        SCALEOUT_WORKLOADS["web_search"], PLAN, SEED, mode=mode)
+
+
+# ---------------------------------------------------------------------------
+# the mode is part of the request identity
+# ---------------------------------------------------------------------------
+
+
+def test_mode_changes_request_key():
+    sim = _request()
+    est = replace(sim, mode="estimate")
+    assert sim.key() != est.key()
+    assert sim.key("fp") != est.key("fp")
+    assert sim.canonical()["mode"] == "simulate"
+    assert est.canonical()["mode"] == "estimate"
+
+
+def test_same_mode_keys_are_stable():
+    assert _request().key() == _request().key()
+    assert (_request("estimate").key()
+            == replace(_request(), mode="estimate").key())
+
+
+# ---------------------------------------------------------------------------
+# no cross-mode replay through a real cache (both directions)
+# ---------------------------------------------------------------------------
+
+
+def test_simulated_entry_never_replays_for_estimate(tmp_path):
+    cache = RunCache(str(tmp_path))
+    sim_engine = RunEngine(jobs=1, cache=cache)
+    (sim,) = sim_engine.run([_request()])
+    assert sim.mode == "simulate"
+    assert sim_engine.executed == 1
+
+    est_engine = RunEngine(jobs=1, cache=cache, mode="estimate")
+    (est,) = est_engine.run([_request()])
+    assert est_engine.cache_hits == 0, \
+        "estimate request replayed a simulate-mode cache entry"
+    assert est_engine.estimated == 1
+    assert est.mode == "estimate"
+    assert isinstance(est, EstimateSummary)
+
+
+def test_estimated_entry_never_replays_for_simulate(tmp_path):
+    cache = RunCache(str(tmp_path))
+    est_engine = RunEngine(jobs=1, cache=cache, mode="estimate")
+    (est,) = est_engine.run([_request()])
+    assert est.mode == "estimate"
+    assert est_engine.estimated == 1
+
+    sim_engine = RunEngine(jobs=1, cache=cache)
+    (sim,) = sim_engine.run([_request()])
+    assert sim_engine.cache_hits == 0, \
+        "simulate request replayed an estimate-mode cache entry"
+    assert sim_engine.executed == 1
+    assert sim.mode == "simulate"
+    assert not isinstance(sim, EstimateSummary)
+
+
+def test_same_mode_replay_still_works(tmp_path):
+    """The isolation must not break memoization *within* a mode."""
+    cache = RunCache(str(tmp_path))
+    first = RunEngine(jobs=1, cache=cache, mode="estimate")
+    (a,) = first.run([_request()])
+    second = RunEngine(jobs=1, cache=cache, mode="estimate")
+    (b,) = second.run([_request()])
+    assert second.cache_hits == 1
+    assert second.estimated == 0
+    assert isinstance(b, EstimateSummary)
+    assert b.to_dict() == a.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# EstimateSummary durability: pickle, JSON, manifest
+# ---------------------------------------------------------------------------
+
+
+def _estimate_summary():
+    req = _request("estimate")
+    return estimate_to_summary(req, req.key())
+
+
+def test_estimate_summary_pickle_round_trip():
+    summary = _estimate_summary()
+    clone = pickle.loads(pickle.dumps(summary))
+    assert isinstance(clone, EstimateSummary)
+    assert clone.to_dict() == summary.to_dict()
+    assert clone.performance() == summary.performance()
+
+
+def test_estimate_summary_json_round_trip():
+    summary = _estimate_summary()
+    data = summary.to_dict()
+    clone = EstimateSummary.from_dict(data)
+    assert isinstance(clone, EstimateSummary)
+    assert clone.to_dict() == data
+    assert clone.mode == "estimate"
+    assert clone.error_bound == summary.error_bound
+
+
+def test_estimate_summary_is_a_run_summary():
+    """The cache's isinstance(RunSummary) guard must accept it."""
+    assert isinstance(_estimate_summary(), RunSummary)
+
+
+def test_estimate_manifest_carries_provenance():
+    summary = _estimate_summary()
+    manifest = summary.manifest()
+    assert manifest["engine"]["mode"] == "estimate"
+    est = manifest["estimate"]
+    assert est["error_bound"] == error_bounds()
+    assert est["error_bound"]["performance"] > 0
+    # PLAN measures only 800 events -- below the envelope's validated
+    # floor -- so the manifest must flag the point as untrusted.
+    assert est["in_trust_region"] is False
+    trusted = RunRequest.point(
+        silo_config(num_cores=4, scale=SCALE),
+        SCALEOUT_WORKLOADS["web_search"], SamplingPlan(12_000, 5_000),
+        SEED, mode="estimate")
+    trusted_summary = estimate_to_summary(trusted, trusted.key())
+    assert trusted_summary.manifest()["estimate"]["in_trust_region"] \
+        is True

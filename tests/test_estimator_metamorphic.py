@@ -1,0 +1,163 @@
+"""Metamorphic properties of the analytic estimator.
+
+Differential tests pin the estimator *at* swept points; metamorphic
+tests pin its shape *between* them -- the directions a cache model
+must respect no matter its absolute error:
+
+* capacity monotonicity: growing the LLC (at fixed latency) never
+  reduces hit rates or estimated performance;
+* Zipf-alpha monotonicity: more skew concentrates references, so hit
+  rates and performance never drop;
+* determinism: equal ``RunRequest``s produce bit-identical
+  ``EstimateSummary``s (the engine caches and dedups on this);
+* ranking agreement: at paper-scale points the estimator orders
+  shared vs SILO the same way the simulator does (the property
+  ``auto`` mode's decision triage depends on), registered ``slow``.
+"""
+
+import pytest
+
+from repro.analytic.estimator import estimate_request
+from repro.core.systems import baseline_config, silo_config, system_config
+from repro.cores.perf_model import (
+    CoreParams, LEVEL_DRAM_CACHE, LEVEL_L1, LEVEL_LLC_LOCAL,
+    LEVEL_LLC_REMOTE)
+from repro.sim.engine import RunEngine, RunRequest
+from repro.sim.sampling import PRESETS, SamplingPlan
+from repro.workloads.base import CodeSpec, RegionSpec, WorkloadSpec
+from repro.workloads.scaleout import SCALEOUT_WORKLOADS
+
+MB = 1 << 20
+PLAN = SamplingPlan(12_000, 5_000)
+SCALE = 512
+SEED = 7
+
+#: Monotone sequences may be flat to within float noise.
+EPS = 1e-9
+
+
+def _spec(alpha=1.1):
+    return WorkloadSpec(
+        name="meta_a%03d" % round(alpha * 100),
+        code=CodeSpec(size_mb=2.0, alpha=1.10),
+        regions=(
+            RegionSpec("hot", 1.5, "zipf", "shared", 0.030, alpha=alpha,
+                       write_fraction=0.05),
+            RegionSpec("heap", 0.125, "zipf", "private", 0.903,
+                       alpha=alpha, write_fraction=0.30),
+            RegionSpec("rw", 0.5, "zipf", "shared", 0.012, alpha=0.60,
+                       write_fraction=0.30),
+            RegionSpec("cold", 32000.0, "uniform", "shared", 0.055),
+        ),
+        core=CoreParams(base_cpi=0.75, mlp=3.8,
+                        data_refs_per_instr=0.25),
+        rw_shared_region="rw",
+    )
+
+
+def _estimate(config, spec=None):
+    return estimate_request(
+        RunRequest.point(config, spec or _spec(), PLAN, SEED))
+
+
+def _hit_fraction(summary):
+    """On-chip + die-stacked service fraction (everything short of
+    main memory)."""
+    counts = summary.level_counts()
+    total = sum(counts)
+    served = (counts[LEVEL_L1] + counts[LEVEL_LLC_LOCAL]
+              + counts[LEVEL_LLC_REMOTE] + counts[LEVEL_DRAM_CACHE])
+    return served / total
+
+
+# ---------------------------------------------------------------------------
+# capacity monotonicity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("org", ["silo", "shared"])
+def test_capacity_monotonicity(org):
+    perf = []
+    hits = []
+    for cap_mb in (32, 64, 128, 256, 512):
+        if org == "silo":
+            config = silo_config(num_cores=4, scale=SCALE,
+                                 name="meta-silo-%d" % cap_mb,
+                                 llc_size_bytes=cap_mb * MB)
+        else:
+            config = baseline_config(num_cores=4, scale=SCALE,
+                                     name="meta-shared-%d" % cap_mb,
+                                     llc_size_bytes=cap_mb * MB)
+        summary = _estimate(config)
+        perf.append(summary.performance())
+        hits.append(_hit_fraction(summary))
+    assert all(b >= a - EPS for a, b in zip(perf, perf[1:])), \
+        "performance not monotone in capacity: %s" % (perf,)
+    assert all(b >= a - EPS for a, b in zip(hits, hits[1:])), \
+        "hit fraction not monotone in capacity: %s" % (hits,)
+
+
+# ---------------------------------------------------------------------------
+# Zipf skew monotonicity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("org", ["silo", "shared"])
+def test_zipf_alpha_monotonicity(org):
+    perf = []
+    l1 = []
+    for alpha in (0.6, 0.8, 1.0, 1.2, 1.4):
+        config = (silo_config(num_cores=4, scale=SCALE) if org == "silo"
+                  else baseline_config(num_cores=4, scale=SCALE))
+        summary = _estimate(config, _spec(alpha))
+        perf.append(summary.performance())
+        counts = summary.level_counts()
+        l1.append(counts[LEVEL_L1] / sum(counts))
+    assert all(b >= a - EPS for a, b in zip(perf, perf[1:])), \
+        "performance not monotone in alpha: %s" % (perf,)
+    assert all(b >= a - EPS for a, b in zip(l1, l1[1:])), \
+        "L1 hit rate not monotone in alpha: %s" % (l1,)
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+
+def test_estimate_determinism():
+    config = silo_config(num_cores=4, scale=SCALE)
+    a = _estimate(config)
+    b = _estimate(config)
+    assert a.to_dict() == b.to_dict()
+
+
+def test_estimate_determinism_through_engine():
+    """Two equal requests through the engine dedup to one estimate."""
+    engine = RunEngine(jobs=1, mode="estimate")
+    req = RunRequest.point(silo_config(num_cores=4, scale=SCALE),
+                           _spec(), PLAN, SEED)
+    a, b = engine.run([req, req])
+    assert a is b
+    assert engine.estimated == 1
+
+
+# ---------------------------------------------------------------------------
+# ranking agreement with simulation (paper-scale points)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("workload", ["web_search", "mapreduce"])
+def test_silo_vs_shared_ranking_agrees_with_simulation(workload):
+    """The estimator's shared-vs-SILO verdict matches the simulator's
+    at the paper's 16-core configuration (CI scale, quick plan)."""
+    spec = SCALEOUT_WORKLOADS[workload]
+    plan = PRESETS["quick"]
+    reqs = [RunRequest.point(system_config(s, scale=64), spec, plan,
+                             SEED)
+            for s in ("baseline", "silo")]
+    base_sim, silo_sim = RunEngine(jobs=1).run(reqs)
+    base_est, silo_est = (estimate_request(r) for r in reqs)
+    sim_says_silo = silo_sim.performance() > base_sim.performance()
+    est_says_silo = silo_est.performance() > base_est.performance()
+    assert sim_says_silo == est_says_silo
