@@ -46,7 +46,13 @@ def test_engine_speedup(tmp_path, bench_extra):
     assert warm.executed == 0
     assert warm.cache_hits == warm.unique_points
 
+    # The ratio is always recorded, but the speedup gate only arms on
+    # hosts with at least as many real cores as jobs: with fewer cores
+    # the pool is pure serialization + IPC overhead (0.848x measured
+    # on the 1-CPU CI host), and asserting >=1x there just tests the
+    # scheduler's mood.
     cpus = os.cpu_count() or 1
+    parallel_gate_active = cpus >= 4
     bench_extra({
         "figure": "fig10",
         "sampling": "standard",
@@ -55,9 +61,10 @@ def test_engine_speedup(tmp_path, bench_extra):
         "parallel_jobs4_s": round(par_s, 3),
         "warm_cache_s": round(warm_s, 3),
         "parallel_speedup": round(serial_s / par_s, 3),
+        "parallel_gate_active": parallel_gate_active,
         "warm_cache_fraction_of_serial": round(warm_s / serial_s, 4),
     })
 
     assert warm_s < 0.10 * serial_s
-    if cpus >= 4:
+    if parallel_gate_active:
         assert serial_s / par_s >= 2.0

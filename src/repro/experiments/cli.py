@@ -115,6 +115,20 @@ def main(argv=None):
                         help="on-disk run cache for simulated points "
                              "(default: $REPRO_CACHE_DIR or "
                              "~/.cache/silo-repro)")
+    parser.add_argument("--cache-max-bytes", default=None,
+                        metavar="BYTES",
+                        help="LRU size cap on the run cache, with "
+                             "optional k/m/g suffix (default: "
+                             "$REPRO_CACHE_MAX_BYTES or unbounded)")
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="resolve every grid point through a "
+                             "repro.serve job server instead of a "
+                             "local engine (e.g. "
+                             "http://127.0.0.1:8421)")
+    parser.add_argument("--priority", default="batch",
+                        choices=("interactive", "batch"),
+                        help="request class when submitting through "
+                             "--server (default batch)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the run cache (every point "
                              "simulates)")
@@ -193,10 +207,31 @@ def main(argv=None):
         parser.error("--mode %s is analytic; --trace/--stats/"
                      "--telemetry/--profile need live simulation"
                      % args.mode)
-    engine = sim_engine.RunEngine(
-        jobs=args.jobs,
-        cache=sim_engine.RunCache(cache_dir) if cache_dir else None,
-        mode=args.mode)
+    if args.cache_max_bytes is not None:
+        try:
+            cache_max_bytes = sim_engine.parse_size_bytes(
+                args.cache_max_bytes)
+        except ValueError as e:
+            parser.error(str(e))
+    else:
+        cache_max_bytes = sim_engine.cache_max_bytes_from_env()
+    if args.server is not None:
+        # Remote resolution: the server owns the engine (and its
+        # cache/jobs/mode); live-observation flags need a local System.
+        if args.trace or args.stats or args.profile or telemetry_every:
+            parser.error("--server resolves runs remotely; --trace/"
+                         "--stats/--telemetry/--profile need local "
+                         "simulation")
+        from repro.serve.client import ClientEngine, ServerClient
+        engine = ClientEngine(ServerClient(args.server),
+                              priority=args.priority)
+    else:
+        engine = sim_engine.RunEngine(
+            jobs=args.jobs,
+            cache=(sim_engine.RunCache(cache_dir,
+                                       max_bytes=cache_max_bytes)
+                   if cache_dir else None),
+            mode=args.mode)
 
     if fault_plan is not None:
         from repro.faults import use_plan

@@ -42,6 +42,12 @@ class FlightRecorder:
         self.batch_wall_s = 0.0
         self.in_flight = 0
         self.workers = set()
+        #: Optional ``fn(span)`` called synchronously for every span as
+        #: it is recorded -- the job server's streaming tap.  Unlike the
+        #: ObservationSession listener seam this also fires when no
+        #: session is installed, and it sees pool/transport spans the
+        #: instant the parent stamps them.
+        self.on_record = None
 
     # -- recording ------------------------------------------------------
 
@@ -71,6 +77,8 @@ class FlightRecorder:
         self.busy_s += exec_s
         self.queue_wait_s += queue_wait_s
         self.workers.add(worker)
+        if self.on_record is not None:
+            self.on_record(span)
         return span
 
     def start_batch(self, n):

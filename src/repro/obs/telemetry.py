@@ -371,6 +371,42 @@ def export_prometheus(samplers):
     return "\n".join(out) + ("\n" if out else "")
 
 
+def export_group_prometheus(snapshot, prefix, labels=()):
+    """Prometheus text exposition of a stats-group snapshot.
+
+    Flattens the nested plain-dict form returned by
+    :meth:`repro.obs.stats.Group.snapshot` into ``silo_<prefix>_<path>``
+    gauges, keeping only numeric leaves (strings, None and span lists
+    are manifest detail, not metrics).  This is what the job server's
+    ``GET /metrics`` endpoint serves for its own counters and the
+    engine group.
+    """
+    out = []
+
+    def walk(node, path):
+        for name in sorted(node):
+            value = node[name]
+            sub = path + (name,)
+            if isinstance(value, dict):
+                walk(value, sub)
+            elif isinstance(value, bool):
+                emit(sub, int(value))
+            elif isinstance(value, (int, float)):
+                emit(sub, value)
+
+    def emit(path, value):
+        name = _prom_name("_".join((prefix,) + path))
+        out.append("# TYPE %s gauge" % name)
+        if labels:
+            label_s = ",".join('%s="%s"' % kv for kv in labels)
+            out.append("%s{%s} %.10g" % (name, label_s, value))
+        else:
+            out.append("%s %.10g" % (name, value))
+
+    walk(snapshot, ())
+    return "\n".join(out) + ("\n" if out else "")
+
+
 def export_chrome_trace(samplers, profile_report=None,
                         engine_spans=None):
     """``chrome://tracing``-compatible JSON (opens in Perfetto).

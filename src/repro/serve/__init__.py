@@ -1,0 +1,20 @@
+"""Simulation-as-a-service: asyncio job server, transports, client.
+
+``python -m repro.serve`` starts the server; ``python -m
+repro.serve.worker`` runs socket/spool workers; ``python -m
+repro.serve.client`` submits.  See DESIGN.md section 2h for the
+architecture (dedup, priorities, backpressure, transports, failure
+model).
+"""
+
+from repro.serve.server import DEFAULT_PORT, JobServer
+from repro.serve.transport import (ExecutorTransport, JobFileTransport,
+                                   LocalPoolTransport,
+                                   SocketWorkerTransport,
+                                   TransportError, transport_from_spec)
+
+__all__ = [
+    "DEFAULT_PORT", "JobServer", "ExecutorTransport",
+    "JobFileTransport", "LocalPoolTransport", "SocketWorkerTransport",
+    "TransportError", "transport_from_spec",
+]

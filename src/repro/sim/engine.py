@@ -191,6 +191,50 @@ class RunRequest:
             "mode": self.mode,
         }
 
+    @classmethod
+    def from_canonical(cls, data):
+        """Rebuild a request from its :meth:`canonical` dict.
+
+        This is the wire format of the job server (``repro.serve``):
+        a request travels as JSON, is reconstructed here, and must key
+        identically to the original --
+        ``RunRequest.from_canonical(r.canonical()).key(f) == r.key(f)``
+        for every fingerprint ``f`` (the round-trip property the serve
+        tests pin).  Validation is the dataclasses' own
+        ``__post_init__`` checks; malformed payloads raise
+        ``ValueError``/``TypeError``/``KeyError`` for the server to
+        turn into a 400.
+        """
+        from repro.workloads.base import CodeSpec, RegionSpec
+
+        def spec_from(d):
+            return WorkloadSpec(
+                name=d["name"],
+                code=CodeSpec(**d["code"]),
+                regions=tuple(RegionSpec(**r) for r in d["regions"]),
+                core=CoreParams(**d["core"]),
+                rw_shared_region=d.get("rw_shared_region", ""))
+
+        faults = None
+        if data.get("faults") is not None:
+            fd = dict(data["faults"])
+            fd["vault_events"] = tuple(
+                tuple(ev) for ev in fd.get("vault_events", ()))
+            faults = FaultPlan(**fd)
+        return cls(
+            config=HierarchyConfig(**data["config"]),
+            placements=tuple(
+                (spec_from(p["spec"]), tuple(p["core_ids"]))
+                for p in data["placements"]),
+            plan=SamplingPlan(**data["plan"]),
+            seed=data["seed"],
+            colocated=data.get("colocated", False),
+            track_sharing=data.get("track_sharing", False),
+            chunk=data.get("chunk", DEFAULT_CHUNK),
+            fastpath=data.get("fastpath", True),
+            faults=faults,
+            mode=data.get("mode", "simulate"))
+
     def key(self, fingerprint=""):
         """Content-address of this point under a code fingerprint."""
         blob = json.dumps({"schema": ENGINE_SCHEMA, "code": fingerprint,
@@ -618,17 +662,32 @@ class RunCache:
     Entries live at ``<dir>/<key[:2]>/<key>.pkl``; writes go through a
     temp file + ``os.replace`` so concurrent engines only ever see
     complete entries.  Unreadable or stale-schema entries read as
-    misses (and are left for a future overwrite)."""
+    misses (and are left for a future overwrite).
 
-    def __init__(self, directory):
+    ``max_bytes`` bounds the cache's on-disk footprint
+    (``--cache-max-bytes`` / ``$REPRO_CACHE_MAX_BYTES``; None =
+    unbounded): after every write the least-recently-used entries are
+    evicted, oldest access first, until the total fits.  Access order
+    is kept with an explicit ``os.utime`` touch on every hit, so LRU
+    survives filesystems mounted ``noatime``.  Evictions are counted
+    in :attr:`pruned_entries` (surfaced through the engine stats
+    group)."""
+
+    def __init__(self, directory, max_bytes=None):
         self.directory = os.path.abspath(os.path.expanduser(directory))
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None "
+                             "for an unbounded cache)")
+        self.max_bytes = max_bytes
+        self.pruned_entries = 0
 
     def path_for(self, key):
         return os.path.join(self.directory, key[:2], key + ".pkl")
 
     def get(self, key):
+        path = self.path_for(key)
         try:
-            with open(self.path_for(key), "rb") as f:
+            with open(path, "rb") as f:
                 summary = pickle.load(f)
         except (OSError, pickle.UnpicklingError, EOFError,
                 AttributeError, ImportError):
@@ -636,6 +695,10 @@ class RunCache:
         if (not isinstance(summary, RunSummary)
                 or summary.schema != ENGINE_SCHEMA):
             return None
+        try:
+            os.utime(path)          # refresh LRU order on hit
+        except OSError:
+            pass
         return summary
 
     def put(self, key, summary):
@@ -645,7 +708,60 @@ class RunCache:
         with open(tmp, "wb") as f:
             pickle.dump(summary, f, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
+        if self.max_bytes is not None:
+            self.prune()
         return path
+
+    def entries(self):
+        """``(atime, size, path)`` for every cache entry, oldest
+        access first (the eviction order)."""
+        out = []
+        try:
+            shards = sorted(os.listdir(self.directory))
+        except OSError:
+            return out
+        for shard in shards:
+            shard_dir = os.path.join(self.directory, shard)
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                out.append((st.st_atime, st.st_size, path))
+        out.sort()
+        return out
+
+    def total_bytes(self):
+        return sum(size for _atime, size, _path in self.entries())
+
+    def prune(self, max_bytes=None):
+        """Evict least-recently-used entries until the cache fits in
+        ``max_bytes`` (defaulting to the configured cap); returns the
+        number of entries removed."""
+        cap = max_bytes if max_bytes is not None else self.max_bytes
+        if cap is None:
+            return 0
+        entries = self.entries()
+        total = sum(size for _atime, size, _path in entries)
+        removed = 0
+        for _atime, size, path in entries:
+            if total <= cap:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self.pruned_entries += removed
+        return removed
 
 
 def resolve_cache_dir(default=None):
@@ -656,6 +772,32 @@ def resolve_cache_dir(default=None):
     if env is not None:
         return os.path.expanduser(env) if env else None
     return os.path.expanduser(default) if default else None
+
+
+def cache_max_bytes_from_env():
+    """Cache size cap from ``$REPRO_CACHE_MAX_BYTES`` (None =
+    unbounded; suffixes k/m/g are 1024-based)."""
+    raw = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+    if not raw:
+        return None
+    return parse_size_bytes(raw)
+
+
+def parse_size_bytes(raw):
+    """Parse a byte count like ``500m``/``2g``/``1048576``."""
+    text = str(raw).strip().lower()
+    mult = 1
+    if text and text[-1] in "kmg":
+        mult = 1024 ** ("kmg".index(text[-1]) + 1)
+        text = text[:-1]
+    try:
+        value = int(text) * mult
+    except ValueError:
+        raise ValueError("invalid byte size %r (use an integer with "
+                         "an optional k/m/g suffix)" % (raw,)) from None
+    if value <= 0:
+        raise ValueError("byte size must be positive, got %r" % (raw,))
+    return value
 
 
 def jobs_from_env():
@@ -681,7 +823,8 @@ class RunEngine:
     process fan-out; accumulates its own observability counters in a
     stats registry group (recorded into experiment manifests)."""
 
-    def __init__(self, jobs=None, cache=None, mode="simulate"):
+    def __init__(self, jobs=None, cache=None, mode="simulate",
+                 transport=None):
         if mode not in ENGINE_MODES:
             raise ValueError("unknown engine mode %r (choose from %s)"
                              % (mode, ", ".join(ENGINE_MODES)))
@@ -689,6 +832,12 @@ class RunEngine:
             else jobs_from_env()
         self.cache = cache
         self.mode = mode
+        #: Pluggable executor transport (repro.serve.transport).  None
+        #: means the classic behaviour: in-process when ``jobs<=1``, a
+        #: per-batch local ProcessPoolExecutor otherwise.  With a
+        #: transport installed every simulated point fans out through
+        #: it (socket workers on other hosts, a job-file spool, ...).
+        self.transport = transport
         self.fingerprint = code_fingerprint()
         self.requests = 0
         self.unique_points = 0
@@ -738,6 +887,10 @@ class RunEngine:
         g.formula("worker_utilization",
                   lambda: self.recorder.utilization(self.jobs),
                   desc="busy seconds over worker-count x batch wall")
+        g.formula("cache_pruned_entries",
+                  lambda: (self.cache.pruned_entries
+                           if self.cache is not None else 0),
+                  desc="run-cache entries evicted by the LRU size cap")
         return g
 
     def events_per_sec(self):
@@ -756,6 +909,10 @@ class RunEngine:
         snap["mode"] = self.mode
         snap["cache_dir"] = (self.cache.directory
                              if self.cache is not None else None)
+        snap["cache_max_bytes"] = (self.cache.max_bytes
+                                   if self.cache is not None else None)
+        snap["transport"] = (self.transport.describe()
+                             if self.transport is not None else "local")
         snap["flight_recorder"] = self.recorder.summary(self.jobs)
         return snap
 
@@ -874,8 +1031,13 @@ class RunEngine:
                        if by_key[k].mode != "estimate"]
         if sim_missing:
             t0 = clock()
-            in_process = (self.jobs <= 1 or live_only
-                          or len(sim_missing) <= 1)
+            # A live session always executes in-process (tracer/stats
+            # need the System); otherwise an installed transport takes
+            # every point, and the classic local rules apply without
+            # one.
+            in_process = live_only or (
+                self.transport is None
+                and (self.jobs <= 1 or len(sim_missing) <= 1))
             if in_process:
                 # run_system records these into the session itself
                 # (tracer attach, rich manifests) -- no double noting.
@@ -905,13 +1067,24 @@ class RunEngine:
         return [summaries[key] for key in keys]
 
     def _run_pool(self, payloads, t_batch, session=None):
-        from concurrent.futures import ProcessPoolExecutor
-        workers = min(self.jobs, len(payloads))
+        """Fan a batch out through the executor transport.
+
+        Without an installed transport a per-batch local process pool
+        is built and torn down here (the pre-transport behaviour,
+        byte-for-byte); an installed transport is long-lived and owned
+        by whoever installed it (the job server, a test)."""
+        transport = self.transport
+        owned = transport is None
+        if owned:
+            from repro.serve.transport import LocalPoolTransport
+            transport = LocalPoolTransport(
+                jobs=min(self.jobs, len(payloads)))
+        transport.start()
         done_at = {}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        try:
             futures = []
             for payload in payloads:
-                fut = pool.submit(_pool_worker, payload)
+                fut = transport.submit(*payload)
                 fut.add_done_callback(
                     functools.partial(_stamp_done, done_at, payload[1]))
                 futures.append(fut)
@@ -923,11 +1096,14 @@ class RunEngine:
                 ended = done_at.get(key, clock())
                 started = ended - meta["exec_s"]
                 self._note_span(session, self.recorder.record(
-                    key, "simulate", "pid:%d" % meta["pid"],
+                    key, "simulate", meta["worker"],
                     max(started - t_batch, 0.0), meta["exec_s"],
                     started - self.recorder.epoch))
                 results.append(summary)
             return results
+        finally:
+            if owned:
+                transport.stop()
 
 
 # ---------------------------------------------------------------------------
@@ -958,9 +1134,11 @@ def use_engine(engine):
 
 def engine_from_env():
     """Default engine for direct library calls: ``$REPRO_JOBS`` workers
-    and a cache only if ``$REPRO_CACHE_DIR`` names one."""
+    and a cache only if ``$REPRO_CACHE_DIR`` names one (capped by
+    ``$REPRO_CACHE_MAX_BYTES``)."""
     directory = resolve_cache_dir(default=None)
-    cache = RunCache(directory) if directory else None
+    cache = (RunCache(directory, max_bytes=cache_max_bytes_from_env())
+             if directory else None)
     return RunEngine(jobs=None, cache=cache)
 
 

@@ -51,6 +51,14 @@ silolint encodes those contracts as ``ast``-level rules:
   :mod:`repro.obs`: every self-measurement must read
   :data:`repro.obs.profile.clock`, so profiler regions, telemetry
   windows and recorded wall clocks are all on one clock source.
+* **SL009** -- blocking call inside an ``async def`` in event-loop
+  packages (``serve``): ``time.sleep``, synchronous
+  ``socket.recv``-family methods, ``subprocess.run``-family calls or a
+  bare ``open()``/file ``read()`` on the loop starves *every*
+  connection the job server is handling.  Awaited calls are exempt
+  (``await reader.readline()`` is the asyncio stream API), and nested
+  plain ``def`` bodies pop back out of async context (they may run in
+  an executor thread).
 
 A finding on a given line is silenced with a trailing
 ``# silolint: disable=SL001`` (comma-separate several codes, or
@@ -88,6 +96,8 @@ RULES = {
              "hotpath-marked function",
     "SL008": "raw wall-clock call bypassing repro.obs.profile.clock "
              "in simulator code",
+    "SL009": "blocking call inside an async def (starves the job "
+             "server's event loop)",
 }
 
 #: Packages whose code paths decide timing (SL004/SL005 scope).
@@ -100,6 +110,22 @@ FANOUT_DIRS = frozenset(("sim", "caches"))
 #: Packages whose wall-clock reads must go through
 #: repro.obs.profile.clock (SL008 scope; repro.obs itself is exempt).
 WALLCLOCK_DIRS = frozenset(("sim", "caches", "coherence", "noc"))
+#: Packages hosting asyncio event loops (SL009 scope): a synchronous
+#: sleep/socket/subprocess/file call in an ``async def`` there stalls
+#: every connection the loop is serving.
+ASYNC_DIRS = frozenset(("serve",))
+
+#: Method names whose synchronous call blocks (sockets, file objects);
+#: awaited calls (``await reader.readline()``) are exempt -- those are
+#: the asyncio stream API, not the blocking one.
+_BLOCKING_METHODS = frozenset((
+    "recv", "recv_into", "recvfrom", "accept", "connect", "sendall",
+    "read", "readline", "readlines", "readinto", "readexactly"))
+
+#: ``subprocess`` entry points that block until the child finishes.
+_SUBPROCESS_FNS = frozenset(("run", "call", "check_call",
+                             "check_output", "getoutput",
+                             "getstatusoutput"))
 
 #: ``time``-module functions that read a clock (SL008).
 _WALLCLOCK_FNS = frozenset((
@@ -238,6 +264,14 @@ class _FileLinter(ast.NodeVisitor):
         # repro.obs owns the sanctioned clock; it is exempt from SL008.
         self.in_wallclock_scope = (bool(WALLCLOCK_DIRS & path_parts)
                                    and "obs" not in path_parts)
+        self.in_async_scope = bool(ASYNC_DIRS & path_parts)
+        # Innermost function kind: True inside an ``async def`` body
+        # (a nested plain ``def`` pops back out -- it may legitimately
+        # run in an executor thread).
+        self._async_stack = [False]
+        # Call nodes under an ``await`` (the asyncio stream API looks
+        # like the blocking one; awaiting is what makes it non-blocking).
+        self._awaited = set()
         # Statements directly at module scope (SL006 only fires there:
         # function-local and instance state is per-execution anyway).
         self._module_stmts = frozenset(id(stmt) for stmt in tree.body)
@@ -302,6 +336,43 @@ class _FileLinter(ast.NodeVisitor):
                            "raw wall-clock call %s in simulator code "
                            "(measure through repro.obs.profile.clock)"
                            % called)
+        # -- SL009 -----------------------------------------------------
+        if (self.in_async_scope and self._async_stack[-1]
+                and id(node) not in self._awaited):
+            blocking = self._blocking_call_desc(node)
+            if blocking is not None:
+                self._flag(node, "SL009",
+                           "%s blocks the event loop inside an async "
+                           "def (await the asyncio form, or move it to "
+                           "an executor thread)" % blocking)
+        self.generic_visit(node)
+
+    def _blocking_call_desc(self, node):
+        """How this call blocks an event loop, or None (SL009)."""
+        func = node.func
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name):
+            owner = func.value.id
+            if owner == "time" and func.attr == "sleep":
+                return "time.sleep()"
+            if owner == "subprocess" and func.attr in _SUBPROCESS_FNS:
+                return "subprocess.%s()" % func.attr
+            if owner == "os" and func.attr in ("system", "wait",
+                                               "waitpid"):
+                return "os.%s()" % func.attr
+        if isinstance(func, ast.Attribute) \
+                and func.attr in _BLOCKING_METHODS:
+            return "synchronous .%s()" % func.attr
+        if isinstance(func, ast.Name):
+            if self.facts.time_names.get(func.id) == "sleep":
+                return "time.sleep() (imported as %s)" % func.id
+            if func.id == "open":
+                return "open()"
+        return None
+
+    def visit_Await(self, node):
+        if isinstance(node.value, ast.Call):
+            self._awaited.add(id(node.value))
         self.generic_visit(node)
 
     # -- SL002 ---------------------------------------------------------
@@ -404,7 +475,12 @@ class _FileLinter(ast.NodeVisitor):
             self._check_defaults(node)
         if self._is_hotpath(node):
             self._check_hotpath(node)
-        self.generic_visit(node)
+        self._async_stack.append(isinstance(node,
+                                            ast.AsyncFunctionDef))
+        try:
+            self.generic_visit(node)
+        finally:
+            self._async_stack.pop()
 
     visit_AsyncFunctionDef = visit_FunctionDef
 

@@ -11,3 +11,4 @@ import pytest
 def _hermetic_engine_env(monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", "")  # empty = caching off
     monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)

@@ -5,6 +5,7 @@ exactly; observation sessions still see what they need.
 """
 
 import json
+import os
 import pickle
 
 import pytest
@@ -13,8 +14,9 @@ from repro.core.systems import system_config
 from repro.obs import session as obs_session
 from repro.sim.driver import _drive, _per_core_state
 from repro.sim.engine import (RunCache, RunEngine, RunRequest, RunSummary,
-                              code_fingerprint, resolve_cache_dir,
-                              run_grid, use_engine)
+                              cache_max_bytes_from_env, code_fingerprint,
+                              engine_from_env, parse_size_bytes,
+                              resolve_cache_dir, run_grid, use_engine)
 from repro.sim.sampling import SamplingPlan
 from repro.sim.system import System
 from repro.workloads.generator import generate_traces
@@ -312,3 +314,100 @@ def test_fast_drive_matches_reference_loop(sys_name):
         assert fc.data_latency == rc.data_latency
         assert fc.ifetch_latency == rc.ifetch_latency
         assert fc.rw_shared_latency == rc.rw_shared_latency
+
+
+# ---------------------------------------------------------------------------
+# Cache size cap: parse_size_bytes, LRU pruning, env plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_parse_size_bytes_units_and_errors():
+    assert parse_size_bytes("1048576") == 1024 ** 2
+    assert parse_size_bytes("64k") == 64 * 1024
+    assert parse_size_bytes("500m") == 500 * 1024 ** 2
+    assert parse_size_bytes("2G") == 2 * 1024 ** 3
+    assert parse_size_bytes(" 3m ") == 3 * 1024 ** 2
+    for bad in ("abc", "-1", "0", "", "1.5m", "m"):
+        with pytest.raises(ValueError):
+            parse_size_bytes(bad)
+    with pytest.raises(ValueError):
+        RunCache("/tmp/never-used", max_bytes=0)
+
+
+def _seed_cache(tmp_path, n_entries):
+    """A real summary stored under ``n_entries`` synthetic keys with
+    strictly ascending access times (index 0 = least recently used)."""
+    cache = RunCache(str(tmp_path))
+    engine = RunEngine(jobs=1, cache=cache)
+    (summary,) = engine.run([_point()])
+    keys = ["%064x" % i for i in range(n_entries)]
+    base = os.stat(cache.path_for(_point().key(engine.fingerprint))).st_atime
+    for i, key in enumerate(keys):
+        path = cache.put(key, summary)
+        # Backdate into the past so a get() touch (= now) outranks all.
+        stamp = base - 10.0 * (n_entries - i)
+        os.utime(path, (stamp, stamp))
+    return cache, keys
+
+
+def test_cache_prune_evicts_oldest_access_first(tmp_path):
+    cache, keys = _seed_cache(tmp_path, 4)
+    _atime, size, _path = cache.entries()[0]
+    # 4 backdated synthetic entries + 1 real entry (most recent); a cap
+    # of three entry-sizes evicts exactly the two oldest synthetics.
+    removed = cache.prune(max_bytes=3 * size)
+    assert removed == 2
+    assert cache.pruned_entries == 2
+    assert cache.get(keys[0]) is None       # oldest two gone
+    assert cache.get(keys[1]) is None
+    assert cache.get(keys[2]) is not None   # newest survive
+    assert cache.get(keys[3]) is not None
+
+
+def test_cache_get_refreshes_lru_order(tmp_path):
+    cache, keys = _seed_cache(tmp_path, 3)
+    assert cache.get(keys[0]) is not None   # touch the oldest entry
+    _atime, size, _path = cache.entries()[0]
+    cache.prune(max_bytes=2 * size)
+    assert cache.get(keys[0]) is not None   # survived: recently touched
+    assert cache.get(keys[1]) is None       # evicted instead
+
+
+def test_cache_put_prunes_automatically_when_capped(tmp_path):
+    unbounded = RunCache(str(tmp_path / "probe"))
+    engine = RunEngine(jobs=1, cache=unbounded)
+    (summary,) = engine.run([_point()])
+    entry_size = unbounded.entries()[0][1]
+
+    cache = RunCache(str(tmp_path / "capped"), max_bytes=2 * entry_size)
+    for i in range(5):
+        cache.put("%064x" % i, summary)
+    assert cache.total_bytes() <= cache.max_bytes
+    assert len(cache.entries()) <= 2
+    assert cache.pruned_entries >= 3
+
+
+def test_engine_snapshot_surfaces_cache_cap_and_pruning(tmp_path):
+    cache = RunCache(str(tmp_path), max_bytes=8 * 1024 ** 2)
+    engine = RunEngine(jobs=1, cache=cache)
+    engine.run([_point()])
+    snap = engine.snapshot()
+    assert snap["cache_max_bytes"] == 8 * 1024 ** 2
+    assert snap["cache_pruned_entries"] == 0
+    cache.pruned_entries = 3
+    assert engine.snapshot()["cache_pruned_entries"] == 3
+
+
+def test_cache_max_bytes_env_flows_through_engine_from_env(
+        tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1m")
+    engine = engine_from_env()
+    assert engine.cache is not None
+    assert engine.cache.max_bytes == 1024 ** 2
+
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "")
+    assert cache_max_bytes_from_env() is None
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "junk")
+    with pytest.raises(ValueError):
+        cache_max_bytes_from_env()

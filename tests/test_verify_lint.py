@@ -427,7 +427,7 @@ def test_cli_list_rules(capsys):
 
 def test_rule_catalogue_is_complete():
     assert sorted(RULES) == ["SL001", "SL002", "SL003", "SL004", "SL005",
-                             "SL006", "SL007", "SL008"]
+                             "SL006", "SL007", "SL008", "SL009"]
 
 
 # ---------------------------------------------------------------------------
@@ -635,6 +635,72 @@ def test_sl008_suppression(tmp_path):
         "def stamp():\n"
         "    return time.time()  # silolint: disable=SL008\n"),
         subdir="sim")
+    assert report.ok, report.render()
+
+
+# ---------------------------------------------------------------------------
+# SL009: blocking calls inside async defs in the serving layer
+# ---------------------------------------------------------------------------
+
+
+def test_sl009_flags_blocking_calls_in_async_def(tmp_path):
+    report = _lint_source(tmp_path, (
+        "import subprocess\n"
+        "import time\n"
+        "async def handle(sock):\n"
+        "    time.sleep(0.1)\n"
+        "    data = sock.recv(4096)\n"
+        "    subprocess.run(['true'])\n"
+        "    open('/tmp/x')\n"), subdir="serve")
+    assert _codes(report) == ["SL009"] * 4
+    assert "time.sleep" in report.violations[0].message
+    assert ".recv()" in report.violations[1].message
+
+
+def test_sl009_quiet_on_awaited_calls(tmp_path):
+    report = _lint_source(tmp_path, (
+        "async def handle(reader, writer):\n"
+        "    data = await reader.readexactly(4)\n"
+        "    await writer.drain()\n"
+        "    return data\n"), subdir="serve")
+    assert report.ok, report.render()
+
+
+def test_sl009_quiet_in_nested_sync_def(tmp_path):
+    # A plain def nested inside an async def runs in an executor thread
+    # by convention -- blocking there is the whole point.
+    report = _lint_source(tmp_path, (
+        "import time\n"
+        "async def handle():\n"
+        "    def work():\n"
+        "        time.sleep(0.1)\n"
+        "        return open('/tmp/x')\n"
+        "    return work\n"), subdir="serve")
+    assert report.ok, report.render()
+
+
+def test_sl009_quiet_outside_serve_package(tmp_path):
+    report = _lint_source(tmp_path, (
+        "import time\n"
+        "async def tick():\n"
+        "    time.sleep(0.1)\n"), subdir="sim")
+    assert report.ok, report.render()
+
+
+def test_sl009_flags_from_import_sleep_alias(tmp_path):
+    report = _lint_source(tmp_path, (
+        "from time import sleep as nap\n"
+        "async def tick():\n"
+        "    nap(0.1)\n"), subdir="serve")
+    assert _codes(report) == ["SL009"]
+
+
+def test_sl009_suppression(tmp_path):
+    report = _lint_source(tmp_path, (
+        "import time\n"
+        "async def tick():\n"
+        "    time.sleep(0.1)  # silolint: disable=SL009\n"),
+        subdir="serve")
     assert report.ok, report.render()
 
 
